@@ -1,0 +1,150 @@
+package oscachesim
+
+// The benchmarks below regenerate every table and figure of the
+// paper's evaluation (one benchmark per table/figure, as the study's
+// regeneration harness). Each iteration rebuilds the workloads and
+// re-simulates from scratch; benchScale keeps a full `go test -bench`
+// pass tractable while preserving the published shapes. Use
+// cmd/tables and cmd/figures for full-scale runs.
+
+import (
+	"testing"
+
+	"oscachesim/internal/experiment"
+)
+
+// benchScale is the number of scheduling rounds per workload used in
+// benchmark runs.
+const benchScale = 8
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Config{Scale: benchScale, Seed: 1, Parallel: true})
+		out, err := e.Render(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the workload-characteristics table
+// (user/idle/OS time split, miss rates, OS read and miss shares).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates the OS data-miss breakdown (block /
+// coherence / other).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates the block-operation characteristics,
+// including the cache-bypassing probe run for the reuse rows.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates the deferred-copy study.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates the coherence-miss breakdown.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkFigure1 regenerates the block-operation overhead
+// decomposition.
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+
+// BenchmarkFigure2 regenerates the block-operation scheme comparison
+// (Base, Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates the full eight-system execution-time
+// comparison.
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkFigure4 regenerates the coherence-optimization comparison.
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure5 regenerates the hot-spot prefetching comparison.
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure6 regenerates the primary-cache-size sweep.
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// BenchmarkFigure7 regenerates the line-size sweep.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
+
+// BenchmarkUpdateTraffic regenerates the Section 5.2 selective-update
+// bus-traffic study.
+func BenchmarkUpdateTraffic(b *testing.B) { benchExperiment(b, "update-traffic") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (references per second) on the Base system.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var refs uint64
+	for i := 0; i < b.N; i++ {
+		o, err := Run(TRFD4, Base, benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += o.Refs
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkWorkloadGeneration measures trace-generation speed alone.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o, err := Run(Shell, Base, 2, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = o
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+//
+// One benchmark per design-choice study (see DESIGN.md and cmd/ablate):
+// they exercise the full sensitivity sweep each iteration.
+
+func benchAblation(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.FindAblation(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Config{Scale: benchScale, Seed: 1})
+		if _, err := e.Render(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWriteBuffers sweeps the write buffer depths.
+func BenchmarkAblationWriteBuffers(b *testing.B) { benchAblation(b, "write-buffers") }
+
+// BenchmarkAblationPrefetchDistance sweeps the Blk_Pref pipelining lead.
+func BenchmarkAblationPrefetchDistance(b *testing.B) { benchAblation(b, "prefetch-distance") }
+
+// BenchmarkAblationDMARate sweeps the Blk_Dma bus transfer rate.
+func BenchmarkAblationDMARate(b *testing.B) { benchAblation(b, "dma-rate") }
+
+// BenchmarkAblationUpdateSet sweeps the selective-update set
+// granularity.
+func BenchmarkAblationUpdateSet(b *testing.B) { benchAblation(b, "update-set") }
+
+// BenchmarkAblationAssociativity sweeps primary-cache associativity.
+func BenchmarkAblationAssociativity(b *testing.B) { benchAblation(b, "associativity") }
+
+// BenchmarkConflictAnalysis regenerates the Section 6 conflict-pair
+// census.
+func BenchmarkConflictAnalysis(b *testing.B) { benchAblation(b, "conflict-pairs") }

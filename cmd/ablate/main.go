@@ -1,0 +1,47 @@
+// Command ablate runs the ablation studies that quantify the
+// sensitivity of the paper's results to its design choices: write
+// buffer depths, Blk_Pref software-pipelining distance, the Blk_Dma
+// bus transfer rate, the selective-update variable-set granularity,
+// and primary-cache associativity.
+//
+// Usage:
+//
+//	ablate                      # run every study
+//	ablate -study update-set    # one study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oscachesim/internal/experiment"
+)
+
+func main() {
+	var (
+		study = flag.String("study", "all", "study id or all (write-buffers, prefetch-distance, dma-rate, update-set, associativity, conflict-pairs, perturbation)")
+		scale = flag.Int("scale", 0, "scheduling rounds per workload (0 = default)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed})
+	studies := experiment.Ablations()
+	if *study != "all" {
+		e, err := experiment.FindAblation(*study)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+			os.Exit(1)
+		}
+		studies = []experiment.Experiment{e}
+	}
+	for _, e := range studies {
+		out, err := e.Render(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablate:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

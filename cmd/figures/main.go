@@ -1,0 +1,52 @@
+// Command figures regenerates the paper's Figures 1-7 and the Section
+// 5.2 traffic study, printing measured series next to the published
+// bar values.
+//
+// Usage:
+//
+//	figures [-figure N|all|update-traffic] [-scale N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oscachesim/internal/experiment"
+)
+
+func main() {
+	var (
+		fig   = flag.String("figure", "all", "figure to regenerate: 1..7, update-traffic, or all")
+		scale = flag.Int("scale", 0, "scheduling rounds per workload (0 = default)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed, Parallel: true})
+	if err := r.WarmUp(experiment.AllPairs()); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	ids := []string{"figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "update-traffic"}
+	switch *fig {
+	case "all":
+	case "update-traffic":
+		ids = []string{"update-traffic"}
+	default:
+		ids = []string{"figure" + *fig}
+	}
+	for _, id := range ids {
+		e, err := experiment.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		out, err := e.Render(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

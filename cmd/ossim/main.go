@@ -1,0 +1,160 @@
+// Command ossim runs one workload under one system configuration and
+// prints a full measurement report: execution-time decomposition, miss
+// taxonomy, block-operation characteristics and bus traffic.
+//
+// Usage:
+//
+//	ossim [-workload TRFD_4] [-system Base] [-scale N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/trace"
+	"oscachesim/internal/workload"
+)
+
+func main() {
+	var (
+		wname  = flag.String("workload", string(workload.TRFD4), "workload: TRFD_4, TRFD+Make, ARC2D+Fsck, Shell")
+		sname  = flag.String("system", "Base", "system: Base, Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma, BCoh_Reloc, BCoh_RelUp, BCPref")
+		scale  = flag.Int("scale", 0, "scheduling rounds to generate (0 = workload default)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		dcopy  = flag.Bool("deferred-copy", false, "enable the deferred sub-page copy optimization")
+		pureUp = flag.Bool("pure-update", false, "use the update protocol on every page")
+		tfile  = flag.String("trace", "", "simulate this captured trace file instead of generating a workload")
+	)
+	flag.Parse()
+
+	sys, err := core.ParseSystem(*sname)
+	if err != nil {
+		fatal(err)
+	}
+	if *tfile != "" {
+		runTraceFile(*tfile, sys)
+		return
+	}
+	w, err := workload.ParseName(*wname)
+	if err != nil {
+		fatal(err)
+	}
+	o, err := core.Run(core.RunConfig{
+		Workload: w, System: sys, Scale: *scale, Seed: *seed,
+		DeferredCopy: *dcopy, PureUpdate: *pureUp,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(o)
+}
+
+// runTraceFile simulates a captured trace — the paper's own mode of
+// operation — under the chosen system's hardware configuration. The
+// software-side optimizations are whatever the trace was captured
+// with.
+func runTraceFile(path string, system core.System) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p := sim.DefaultParams()
+	system.Apply(&p)
+	per := trace.SplitByCPU(trace.ReaderSource(trace.NewReader(f)), p.NumCPUs)
+	srcs := make([]trace.Source, len(per))
+	for i, refs := range per {
+		srcs[i] = trace.NewSliceSource(refs)
+	}
+	s, err := sim.New(p, srcs)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	report(&core.Outcome{
+		Config:   core.RunConfig{System: system, Workload: workload.Name(path)},
+		Counters: res.Counters,
+		Refs:     res.Refs,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ossim:", err)
+	os.Exit(1)
+}
+
+func report(o *core.Outcome) {
+	c := o.Counters
+	fmt.Printf("workload=%s system=%s refs=%d cycles=%d\n\n",
+		o.Config.Workload, o.Config.System, o.Refs, c.Cycles)
+
+	tot := c.TotalTime()
+	fmt.Println("Execution time by mode:")
+	for _, k := range []trace.Kind{trace.KindUser, trace.KindOS, trace.KindIdle} {
+		ti := c.Time[k]
+		fmt.Printf("  %-5s %6.1f%%  [exec=%d imiss=%d dread=%d pref=%d dwrite=%d sync=%d]\n",
+			k, 100*stats.Ratio(ti.Total(), tot), ti.Exec, ti.IMiss, ti.DRead, ti.Pref, ti.DWrite, ti.Sync)
+	}
+
+	fmt.Printf("\nPrimary data cache: reads=%d misses=%d (%.2f%% miss rate)\n",
+		c.TotalDReads(), c.TotalDReadMisses(), 100*c.D1MissRate())
+	fmt.Printf("OS share: %.1f%% of reads, %.1f%% of misses\n",
+		100*stats.Ratio(c.DReads[trace.KindOS], c.TotalDReads()),
+		100*stats.Ratio(c.OSDReadMisses(), c.TotalDReadMisses()))
+
+	osTotal := c.OSMissBy[0] + c.OSMissBy[1] + c.OSMissBy[2]
+	fmt.Printf("\nOS miss breakdown (n=%d):\n", osTotal)
+	for cls := stats.MissClass(0); cls < stats.NumMissClasses; cls++ {
+		fmt.Printf("  %-10s %6.1f%%\n", cls, 100*stats.Ratio(c.OSMissBy[cls], osTotal))
+	}
+	var cohTotal uint64
+	for _, v := range c.OSCohBy {
+		cohTotal += v
+	}
+	if cohTotal > 0 {
+		fmt.Printf("\nCoherence miss breakdown (n=%d):\n", cohTotal)
+		for cls := stats.CohClass(0); cls < stats.NumCohClasses; cls++ {
+			fmt.Printf("  %-12s %6.1f%%\n", cls, 100*stats.Ratio(c.OSCohBy[cls], cohTotal))
+		}
+	}
+
+	bl := c.Block
+	fmt.Printf("\nBlock operations: %d (%d copies)\n", bl.Ops, bl.Copies)
+	if bl.Ops > 0 {
+		fmt.Printf("  src lines cached %.1f%%, dst lines L2-owned %.1f%%, L2-shared %.1f%%\n",
+			100*stats.Ratio(bl.SrcLinesCached, bl.SrcLinesTotal),
+			100*stats.Ratio(bl.DstLinesL2Owned, bl.DstLinesTotal),
+			100*stats.Ratio(bl.DstLinesL2Shared, bl.DstLinesTotal))
+		fmt.Printf("  sizes: page %.1f%%, 1-4KB %.1f%%, <1KB %.1f%%\n",
+			100*stats.Ratio(bl.SizePage, bl.Ops),
+			100*stats.Ratio(bl.SizeMid, bl.Ops),
+			100*stats.Ratio(bl.SizeSmall, bl.Ops))
+		ov := c.BlockOverhead
+		fmt.Printf("  overhead: read %.0f%%, write %.0f%%, displacement %.0f%%, instr %.0f%%\n",
+			100*stats.Ratio(ov.ReadStall, ov.Total()), 100*stats.Ratio(ov.WriteStall, ov.Total()),
+			100*stats.Ratio(ov.DisplStall, ov.Total()), 100*stats.Ratio(ov.InstrExec, ov.Total()))
+	}
+
+	d := o.Deferred
+	if d.BlockCopies > 0 {
+		fmt.Printf("\nCopies: %d total, %d sub-page (%.1f%%), %.1f%% of sub-page read-only\n",
+			d.BlockCopies, d.SmallCopies,
+			100*stats.Ratio(d.SmallCopies, d.BlockCopies),
+			100*stats.Ratio(d.ReadOnlySmallCopies, d.SmallCopies))
+		if d.DeferredElided > 0 {
+			fmt.Printf("  deferred: %d elided, %d performed at first write\n", d.DeferredElided, d.DeferredPerformed)
+		}
+	}
+
+	fmt.Printf("\nBus: %d transactions, %d bytes, busy %.1f%% of %d cycles, wait %d cycles\n",
+		c.Bus.TotalTransactions(), c.Bus.TotalBytes(),
+		100*float64(c.Bus.BusyCycles)/float64(c.Cycles), c.Cycles, c.Bus.WaitCycles)
+	fmt.Printf("Prefetches: %d issued, %d late\n", c.Prefetches, c.LatePrefetches)
+}

@@ -1,0 +1,114 @@
+// Command sweep runs cache-geometry parameter sweeps (the Figures 6-7
+// studies, generalized to arbitrary grids): for each geometry it
+// simulates the chosen systems and prints normalized OS execution time
+// and miss counts.
+//
+// Usage:
+//
+//	sweep -sizes 16,32,64 -systems Base,Blk_Dma,BCPref
+//	sweep -linesizes 16,32,64 -l2line 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "", "comma-separated L1D sizes in KB to sweep")
+		lines   = flag.String("linesizes", "", "comma-separated L1D line sizes in bytes to sweep")
+		l2line  = flag.Uint64("l2line", 32, "L2 line size in bytes during a line-size sweep")
+		sysList = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated systems")
+		wname   = flag.String("workload", "", "workload (default: all four)")
+		scale   = flag.Int("scale", 0, "scheduling rounds (0 = default)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+	if (*sizes == "") == (*lines == "") {
+		fatal(fmt.Errorf("pass exactly one of -sizes or -linesizes"))
+	}
+
+	var systems []core.System
+	for _, s := range strings.Split(*sysList, ",") {
+		sys, err := core.ParseSystem(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+	workloads := workload.Names()
+	if *wname != "" {
+		w, err := workload.ParseName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		workloads = []workload.Name{w}
+	}
+
+	type point struct {
+		label string
+		p     sim.Params
+	}
+	var grid []point
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			kb, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+			if err != nil {
+				fatal(err)
+			}
+			p := sim.DefaultParams()
+			p.L1D.Size = kb * 1024
+			grid = append(grid, point{fmt.Sprintf("%dKB", kb), p})
+		}
+	} else {
+		for _, tok := range strings.Split(*lines, ",") {
+			ls, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+			if err != nil {
+				fatal(err)
+			}
+			p := sim.DefaultParams()
+			p.L1D.LineSize = ls
+			p.L1I.LineSize = ls
+			p.L2.LineSize = *l2line
+			if p.L2.LineSize < ls {
+				p.L2.LineSize = ls
+			}
+			grid = append(grid, point{fmt.Sprintf("%dB", ls), p})
+		}
+	}
+
+	for _, w := range workloads {
+		fmt.Printf("== %s\n", w)
+		for _, pt := range grid {
+			var baseTime uint64
+			fmt.Printf("  %-6s", pt.label)
+			for i, sys := range systems {
+				machine := pt.p
+				o, err := core.Run(core.RunConfig{
+					Workload: w, System: sys, Scale: *scale, Seed: *seed, Machine: &machine,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				if i == 0 {
+					baseTime = o.OSTime()
+				}
+				fmt.Printf("  %s=%.3f (misses=%d)", sys, float64(o.OSTime())/float64(baseTime), o.Counters.OSDReadMisses())
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command tables regenerates the paper's Tables 1-5, printing measured
+// values side by side with the published ones.
+//
+// Usage:
+//
+//	tables [-table N|all] [-scale N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/experiment"
+	"oscachesim/internal/workload"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "table to regenerate: 1..5 or all")
+		scale = flag.Int("scale", 0, "scheduling rounds per workload (0 = default)")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed, Parallel: true})
+	var warm []experiment.Pair
+	for _, w := range workload.Names() {
+		warm = append(warm,
+			experiment.Pair{Workload: w, System: core.Base},
+			experiment.Pair{Workload: w, System: core.BlkBypass})
+	}
+	if err := r.WarmUp(warm); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	ids := []string{"table1", "table2", "table3", "table4", "table5"}
+	if *table != "all" {
+		ids = []string{"table" + *table}
+	}
+	for _, id := range ids {
+		e, err := experiment.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		out, err := e.Render(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,135 @@
+// Command tracedump generates, saves, inspects and summarizes
+// reference traces in the library's binary trace format.
+//
+// Usage:
+//
+//	tracedump -workload TRFD_4 -out trfd.trc        # generate + save
+//	tracedump -in trfd.trc                          # summarize a file
+//	tracedump -in trfd.trc -print 20                # print refs
+//	tracedump -workload Shell                       # summarize directly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/trace"
+	"oscachesim/internal/workload"
+)
+
+func main() {
+	var (
+		wname  = flag.String("workload", string(workload.TRFD4), "workload to generate")
+		sname  = flag.String("system", "Base", "system whose kernel build to trace")
+		scale  = flag.Int("scale", 0, "scheduling rounds (0 = default)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		out    = flag.String("out", "", "write the generated trace to this file")
+		in     = flag.String("in", "", "read and summarize a trace file instead of generating")
+		nprint = flag.Int("print", 0, "print the first N references")
+	)
+	flag.Parse()
+
+	var src trace.Source
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = trace.ReaderSource(trace.NewReader(f))
+	default:
+		w, err := workload.ParseName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err := core.ParseSystem(*sname)
+		if err != nil {
+			fatal(err)
+		}
+		built := workload.Build(w, sys.KernelOpt(), *scale, *seed)
+		src = mergeSources(built)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := trace.NewWriter(f)
+		n := 0
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := w.WriteRef(ref); err != nil {
+				fatal(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d references to %s\n", n, *out)
+		return
+	}
+
+	if *nprint > 0 {
+		for i := 0; i < *nprint; i++ {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			fmt.Println(ref)
+		}
+		return
+	}
+
+	s := trace.Summarize(src)
+	fmt.Printf("total refs:   %d\n", s.Total)
+	fmt.Printf("instructions: %d\n", s.Instrs)
+	fmt.Printf("data reads:   %d\n", s.DataReads)
+	fmt.Printf("data writes:  %d\n", s.Writes)
+	fmt.Printf("prefetches:   %d\n", s.Prefetch)
+	fmt.Printf("DMA ops:      %d\n", s.DMAOps)
+	fmt.Printf("block ops:    %d (%d refs inside)\n", s.BlockOps, s.BlockRefs)
+	fmt.Printf("sync ops:     %d\n", s.Syncs)
+	fmt.Println("by mode:")
+	for _, k := range []trace.Kind{trace.KindUser, trace.KindOS, trace.KindIdle} {
+		fmt.Printf("  %-5s %d\n", k, s.ByKind[k])
+	}
+	fmt.Println("top data classes:")
+	for c := trace.ClassGeneric; c <= trace.ClassStack; c++ {
+		if n := s.ByClass[c]; n > 0 {
+			fmt.Printf("  %-12s %d\n", c, n)
+		}
+	}
+}
+
+// mergeSources interleaves the per-CPU streams round-robin for
+// single-stream output.
+func mergeSources(b *workload.Built) trace.Source {
+	srcs := b.Sources()
+	i := 0
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		for tries := 0; tries < len(srcs); tries++ {
+			r, ok := srcs[i%len(srcs)].Next()
+			i++
+			if ok {
+				return r, true
+			}
+		}
+		return trace.Ref{}, false
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

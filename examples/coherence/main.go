@@ -1,0 +1,60 @@
+// Coherence reproduces the Section 5 study on the TRFD_4 workload: it
+// measures where the kernel's coherence misses come from (barriers,
+// infrequently-communicated counters, frequently-shared variables,
+// locks — the paper's Table 5), then applies data privatization and
+// relocation (BCoh_Reloc) and the selective Firefly update protocol on
+// the 384-byte core of shared variables (BCoh_RelUp), printing the
+// miss and bus-traffic effects of each step.
+//
+// Run with:
+//
+//	go run ./examples/coherence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oscachesim"
+	"oscachesim/internal/stats"
+)
+
+func main() {
+	const scale, seed = 0, 1
+	w := oscachesim.TRFD4
+
+	base, err := oscachesim.Run(w, oscachesim.BlkDma, scale, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Coherence misses in %s under Blk_Dma (Table 5 breakdown):\n", w)
+	var total uint64
+	for _, v := range base.Counters.OSCohBy {
+		total += v
+	}
+	for cls := stats.CohClass(0); cls < stats.NumCohClasses; cls++ {
+		fmt.Printf("  %-12s %6.1f%%\n", cls, 100*stats.Ratio(base.Counters.OSCohBy[cls], total))
+	}
+
+	fmt.Println("\nApplying the Section 5 optimizations (normalized to Blk_Dma):")
+	fmt.Printf("%-11s %8s %10s %9s\n", "system", "misses", "coherence", "traffic")
+	bm := float64(base.Counters.OSDReadMisses())
+	bt := float64(base.Counters.Bus.TotalBytes())
+	for _, sys := range []oscachesim.System{oscachesim.BlkDma, oscachesim.BCohReloc, oscachesim.BCohRelUp} {
+		o, err := oscachesim.Run(w, sys, scale, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %8.2f %10.2f %9.2f\n", sys,
+			float64(o.Counters.OSDReadMisses())/bm,
+			float64(o.Counters.OSMissBy[stats.MissCoherence])/bm,
+			float64(o.Counters.Bus.TotalBytes())/bt)
+	}
+
+	fmt.Println("\nWhat to look for (paper Section 5):")
+	fmt.Println("  - privatizing the event counters and relocating false-shared data")
+	fmt.Println("    trims coherence misses at zero hardware cost;")
+	fmt.Println("  - the update protocol on one page of key variables removes most of")
+	fmt.Println("    the remaining coherence misses with little extra bus traffic.")
+}

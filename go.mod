@@ -1,0 +1,3 @@
+module oscachesim
+
+go 1.22

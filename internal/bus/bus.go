@@ -1,0 +1,253 @@
+// Package bus models the shared split-transaction bus of the simulated
+// machine: 8 bytes wide, cycling at 40 MHz against 200-MHz processors
+// (5 CPU cycles per bus cycle). The bus is the machine's single point
+// of contention; every cache fill, write-back, invalidation signal,
+// update broadcast and DMA block transfer reserves occupancy on it, and
+// the paper's traffic claims (Section 5.2's 3-6% update-traffic
+// overhead, Section 6's <1% prefetch overhead) are measured from the
+// byte counters kept here.
+package bus
+
+import (
+	"fmt"
+	"sort"
+
+	"oscachesim/internal/coherence"
+)
+
+// Params fixes the bus geometry and timing. The zero value is not
+// usable; call DefaultParams.
+type Params struct {
+	// WidthBytes is the data-path width (8 bytes on the simulated
+	// machine).
+	WidthBytes uint64
+	// CPUCyclesPerBusCycle converts bus cycles to processor cycles
+	// (5 at 200 MHz / 40 MHz).
+	CPUCyclesPerBusCycle uint64
+	// LineTransferCPUCycles is the bus occupancy of one secondary-
+	// cache line transfer, in CPU cycles (20 in the paper).
+	LineTransferCPUCycles uint64
+}
+
+// DefaultParams returns the paper's machine (Section 2.4).
+func DefaultParams() Params {
+	return Params{WidthBytes: 8, CPUCyclesPerBusCycle: 5, LineTransferCPUCycles: 20}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.WidthBytes == 0 || p.CPUCyclesPerBusCycle == 0 || p.LineTransferCPUCycles == 0 {
+		return fmt.Errorf("bus: zero parameter in %+v", p)
+	}
+	return nil
+}
+
+// Kind classifies bus transactions for the traffic accounting. It
+// extends the coherence protocol's bus operations with the DMA block
+// transfer of the Blk_Dma scheme and the word writes of the bypass
+// schemes.
+type Kind uint8
+
+const (
+	// KindFill is a line read (cache fill), from memory or a remote
+	// cache.
+	KindFill Kind = iota
+	// KindFillExcl is a read-exclusive line fill (write miss).
+	KindFillExcl
+	// KindWriteBack is a dirty-line eviction to memory.
+	KindWriteBack
+	// KindUpgrade is an invalidation-only signal (no data).
+	KindUpgrade
+	// KindUpdate is a Firefly word-update broadcast.
+	KindUpdate
+	// KindWordWrite is an uncached word write (cache-bypassing
+	// stores).
+	KindWordWrite
+	// KindDMA is a pipelined block transfer by the Blk_Dma engine.
+	KindDMA
+	// KindPrefetch is a prefetch-initiated line fill.
+	KindPrefetch
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	names := [...]string{"fill", "fillexcl", "writeback", "upgrade", "update", "wordwrite", "dma", "prefetch"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindOf maps a coherence protocol bus operation to a traffic kind.
+func KindOf(op coherence.BusOp, exclusive bool) Kind {
+	switch op {
+	case coherence.BusRead:
+		return KindFill
+	case coherence.BusReadExcl:
+		return KindFillExcl
+	case coherence.BusUpgrade:
+		return KindUpgrade
+	case coherence.BusUpdate:
+		return KindUpdate
+	case coherence.BusWriteBack:
+		return KindWriteBack
+	default:
+		if exclusive {
+			return KindFillExcl
+		}
+		return KindFill
+	}
+}
+
+// Stats aggregates lifetime bus activity.
+type Stats struct {
+	// Transactions counts completed transactions by kind.
+	Transactions [numKinds]uint64
+	// Bytes counts data bytes moved by kind (control-only signals
+	// move zero data bytes but still occupy the bus).
+	Bytes [numKinds]uint64
+	// BusyCycles is total occupancy in CPU cycles.
+	BusyCycles uint64
+	// WaitCycles is total arbitration delay suffered by requesters in
+	// CPU cycles — the contention the optimizations must not inflate.
+	WaitCycles uint64
+}
+
+// TotalTransactions sums transactions across kinds.
+func (s Stats) TotalTransactions() uint64 {
+	var n uint64
+	for _, v := range s.Transactions {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes sums data bytes across kinds.
+func (s Stats) TotalBytes() uint64 {
+	var n uint64
+	for _, v := range s.Bytes {
+		n += v
+	}
+	return n
+}
+
+// Bus is the shared bus. It is a FIFO-arbitration occupancy timeline:
+// a transaction asked for at CPU-cycle `now` starts at
+// max(now, end of previous transaction) and holds the bus for its
+// occupancy. The co-simulation in internal/sim advances processors in
+// global time order, so requests arrive in (almost) non-decreasing
+// time order and a single free-at watermark models arbitration well;
+// small out-of-order requests are absorbed by a bounded reservation
+// list.
+type Bus struct {
+	params Params
+	stats  Stats
+	// reservations holds the occupied intervals still in the future,
+	// ordered by start; old ones are pruned as time advances.
+	reservations []interval
+	// watermark is the latest end among pruned reservations. An
+	// out-of-order request older than the watermark is clamped to it,
+	// because the timeline before it has been discarded and may have
+	// been occupied.
+	watermark uint64
+}
+
+type interval struct{ start, end uint64 }
+
+// New returns an idle bus.
+func New(p Params) *Bus {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{params: p}
+}
+
+// Params returns the bus geometry.
+func (b *Bus) Params() Params { return b.params }
+
+// LineOccupancy returns the CPU-cycle bus occupancy of a line transfer
+// of the given length, scaled from the configured secondary-line cost.
+func (b *Bus) LineOccupancy(bytes uint64) uint64 {
+	beats := (bytes + b.params.WidthBytes - 1) / b.params.WidthBytes
+	return beats * b.params.CPUCyclesPerBusCycle
+}
+
+// ControlOccupancy returns the occupancy of a control-only signal
+// (invalidation): one bus cycle.
+func (b *Bus) ControlOccupancy() uint64 { return b.params.CPUCyclesPerBusCycle }
+
+// Reserve grants the bus for `busy` CPU cycles at the earliest
+// gap at or after `earliest`, records the transaction, and returns the
+// start cycle. bytes is the data payload for traffic accounting.
+func (b *Bus) Reserve(earliest uint64, busy uint64, kind Kind, bytes uint64) (start uint64) {
+	start = b.place(earliest, busy)
+	b.stats.Transactions[kind]++
+	b.stats.Bytes[kind] += bytes
+	b.stats.BusyCycles += busy
+	if start > earliest {
+		b.stats.WaitCycles += start - earliest
+	}
+	return start
+}
+
+// place finds the earliest gap of length busy at or after earliest and
+// inserts the reservation.
+func (b *Bus) place(earliest, busy uint64) uint64 {
+	// Prune intervals that ended before the request, remembering how
+	// far the discarded timeline reached.
+	pruned := b.reservations[:0]
+	for _, iv := range b.reservations {
+		if iv.end > earliest {
+			pruned = append(pruned, iv)
+		} else if iv.end > b.watermark {
+			b.watermark = iv.end
+		}
+	}
+	b.reservations = pruned
+
+	start := earliest
+	if start < b.watermark {
+		start = b.watermark
+	}
+	for i := 0; i <= len(b.reservations); i++ {
+		var gapEnd uint64 = ^uint64(0)
+		if i < len(b.reservations) {
+			gapEnd = b.reservations[i].start
+		}
+		if start+busy <= gapEnd {
+			b.insert(interval{start, start + busy}, i)
+			return start
+		}
+		if i < len(b.reservations) && b.reservations[i].end > start {
+			start = b.reservations[i].end
+		}
+	}
+	// Unreachable: the loop always places after the last interval.
+	panic("bus: reservation placement failed")
+}
+
+func (b *Bus) insert(iv interval, at int) {
+	b.reservations = append(b.reservations, interval{})
+	copy(b.reservations[at+1:], b.reservations[at:])
+	b.reservations[at] = iv
+	// Defensive: keep sorted even if a gap search raced with pruning.
+	if !sort.SliceIsSorted(b.reservations, func(i, j int) bool {
+		return b.reservations[i].start < b.reservations[j].start
+	}) {
+		sort.Slice(b.reservations, func(i, j int) bool {
+			return b.reservations[i].start < b.reservations[j].start
+		})
+	}
+}
+
+// Stats returns a copy of the lifetime counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Utilization returns busy cycles as a fraction of the given horizon.
+func (b *Bus) Utilization(totalCycles uint64) float64 {
+	if totalCycles == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyCycles) / float64(totalCycles)
+}

@@ -1,0 +1,196 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oscachesim/internal/coherence"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	if p.WidthBytes != 8 || p.CPUCyclesPerBusCycle != 5 || p.LineTransferCPUCycles != 20 {
+		t.Errorf("DefaultParams = %+v", p)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		{WidthBytes: 8},
+		{WidthBytes: 8, CPUCyclesPerBusCycle: 5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted bad params", p)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFill.String() != "fill" || KindDMA.String() != "dma" {
+		t.Error("kind names wrong")
+	}
+	if got := Kind(200).String(); got == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[coherence.BusOp]Kind{
+		coherence.BusRead:      KindFill,
+		coherence.BusReadExcl:  KindFillExcl,
+		coherence.BusUpgrade:   KindUpgrade,
+		coherence.BusUpdate:    KindUpdate,
+		coherence.BusWriteBack: KindWriteBack,
+	}
+	for op, want := range cases {
+		if got := KindOf(op, false); got != want {
+			t.Errorf("KindOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+	if KindOf(coherence.BusNone, true) != KindFillExcl {
+		t.Error("KindOf fallback exclusive wrong")
+	}
+	if KindOf(coherence.BusNone, false) != KindFill {
+		t.Error("KindOf fallback wrong")
+	}
+}
+
+func TestLineOccupancy(t *testing.T) {
+	b := New(DefaultParams())
+	// A 32-byte line = 4 beats of 8 bytes = 4 bus cycles = 20 CPU
+	// cycles, matching the paper's number.
+	if got := b.LineOccupancy(32); got != 20 {
+		t.Errorf("LineOccupancy(32) = %d, want 20", got)
+	}
+	if got := b.LineOccupancy(16); got != 10 {
+		t.Errorf("LineOccupancy(16) = %d, want 10", got)
+	}
+	if got := b.LineOccupancy(1); got != 5 {
+		t.Errorf("LineOccupancy(1) = %d, want 5", got)
+	}
+	if got := b.ControlOccupancy(); got != 5 {
+		t.Errorf("ControlOccupancy = %d, want 5", got)
+	}
+}
+
+func TestReserveNoContention(t *testing.T) {
+	b := New(DefaultParams())
+	start := b.Reserve(100, 20, KindFill, 32)
+	if start != 100 {
+		t.Errorf("uncontended Reserve start = %d, want 100", start)
+	}
+	s := b.Stats()
+	if s.Transactions[KindFill] != 1 || s.Bytes[KindFill] != 32 || s.BusyCycles != 20 || s.WaitCycles != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReserveContention(t *testing.T) {
+	b := New(DefaultParams())
+	b.Reserve(100, 20, KindFill, 32)
+	start := b.Reserve(105, 20, KindFill, 32)
+	if start != 120 {
+		t.Errorf("contended Reserve start = %d, want 120", start)
+	}
+	if w := b.Stats().WaitCycles; w != 15 {
+		t.Errorf("WaitCycles = %d, want 15", w)
+	}
+}
+
+func TestReserveFindsGap(t *testing.T) {
+	b := New(DefaultParams())
+	b.Reserve(100, 20, KindFill, 32) // [100,120)
+	b.Reserve(150, 20, KindFill, 32) // [150,170)
+	// A short control signal fits in the [120,150) gap.
+	start := b.Reserve(110, 5, KindUpgrade, 0)
+	if start != 120 {
+		t.Errorf("gap Reserve start = %d, want 120", start)
+	}
+	// A long transfer does not fit in the remaining gap and goes
+	// after 170.
+	start = b.Reserve(110, 40, KindDMA, 64)
+	if start != 170 {
+		t.Errorf("long Reserve start = %d, want 170", start)
+	}
+}
+
+func TestReserveOutOfOrderRequests(t *testing.T) {
+	b := New(DefaultParams())
+	b.Reserve(200, 20, KindFill, 32)
+	// An earlier request (slightly out of order, as the co-sim can
+	// produce) still lands before the existing reservation.
+	start := b.Reserve(100, 20, KindFill, 32)
+	if start != 100 {
+		t.Errorf("earlier Reserve start = %d, want 100", start)
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	b := New(DefaultParams())
+	b.Reserve(0, 20, KindFill, 32)
+	b.Reserve(0, 20, KindWriteBack, 32)
+	b.Reserve(0, 10, KindUpdate, 4)
+	s := b.Stats()
+	if s.TotalTransactions() != 3 {
+		t.Errorf("TotalTransactions = %d", s.TotalTransactions())
+	}
+	if s.TotalBytes() != 68 {
+		t.Errorf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b := New(DefaultParams())
+	b.Reserve(0, 50, KindDMA, 400)
+	if got := b.Utilization(100); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := b.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v", got)
+	}
+}
+
+// Property: reservations never overlap, and every grant starts at or
+// after its request time.
+func TestReserveNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(DefaultParams())
+		type grant struct{ start, end uint64 }
+		var grants []grant
+		now := uint64(0)
+		for i := 0; i < 200; i++ {
+			// Mostly forward-moving request times with occasional
+			// small regressions, like the co-sim produces.
+			if rng.Intn(4) > 0 {
+				now += uint64(rng.Intn(30))
+			} else if now > 10 {
+				now -= uint64(rng.Intn(10))
+			}
+			busy := uint64(rng.Intn(30) + 1)
+			start := b.Reserve(now, busy, KindFill, 32)
+			if start < now {
+				return false
+			}
+			grants = append(grants, grant{start, start + busy})
+		}
+		for i := range grants {
+			for j := i + 1; j < len(grants); j++ {
+				a, c := grants[i], grants[j]
+				if a.start < c.end && c.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

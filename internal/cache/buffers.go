@@ -1,0 +1,172 @@
+package cache
+
+import "fmt"
+
+// WriteBufferEntry is one pending write sitting in a write buffer.
+type WriteBufferEntry struct {
+	// Addr is the (word- or line-aligned) address being written.
+	Addr uint64
+	// Ready is the simulator cycle at which the downstream level can
+	// start servicing this entry.
+	Ready uint64
+	// NeedsBus marks entries that must perform a bus transaction
+	// (write misses and invalidation signals), which is what makes the
+	// L2-to-bus buffer overflow under block operations (Section 4.1.2).
+	NeedsBus bool
+	// Tag carries the data class of the write (trace.DataClass), used
+	// to attribute the coherence misses the write causes on remote
+	// processors.
+	Tag uint8
+	// Block is the block-operation id of the write (0 = none), used
+	// to tag write-allocate fills for displacement tracking.
+	Block uint32
+}
+
+// WriteBuffer is a fixed-capacity FIFO of pending writes. The machine
+// has two: a 4-deep word-wide buffer between L1 and L2, and an 8-deep
+// 32-byte-wide buffer between L2 and the bus. Reads bypass the buffers
+// but must forward from them on an address match (release consistency
+// with read-bypass-write, Section 2.4).
+type WriteBuffer struct {
+	name    string
+	granule uint64 // match granularity in bytes (word or line)
+	entries []WriteBufferEntry
+	cap     int
+	// peak occupancy and overflow stalls are reported by the stall
+	// accounting of Figure 1.
+	peak      int
+	overflows uint64
+}
+
+// NewWriteBuffer returns an empty buffer of the given capacity that
+// matches addresses at the given granule (a power of two).
+func NewWriteBuffer(name string, capacity int, granule uint64) *WriteBuffer {
+	if capacity <= 0 || granule == 0 || granule&(granule-1) != 0 {
+		panic(fmt.Sprintf("cache: bad write buffer %q cap=%d granule=%d", name, capacity, granule))
+	}
+	return &WriteBuffer{name: name, granule: granule, cap: capacity}
+}
+
+// Len returns the current occupancy.
+func (b *WriteBuffer) Len() int { return len(b.entries) }
+
+// Cap returns the capacity.
+func (b *WriteBuffer) Cap() int { return b.cap }
+
+// Full reports whether a Push would overflow.
+func (b *WriteBuffer) Full() bool { return len(b.entries) >= b.cap }
+
+// Push appends an entry; the caller must have drained space first.
+// Pushing into a full buffer panics — the simulator models the
+// processor stall instead of ever doing that.
+func (b *WriteBuffer) Push(e WriteBufferEntry) {
+	if b.Full() {
+		panic(fmt.Sprintf("cache: push into full write buffer %q", b.name))
+	}
+	e.Addr &^= b.granule - 1
+	b.entries = append(b.entries, e)
+	if len(b.entries) > b.peak {
+		b.peak = len(b.entries)
+	}
+}
+
+// Peek returns the oldest entry without removing it.
+func (b *WriteBuffer) Peek() (WriteBufferEntry, bool) {
+	if len(b.entries) == 0 {
+		return WriteBufferEntry{}, false
+	}
+	return b.entries[0], true
+}
+
+// Pop removes and returns the oldest entry.
+func (b *WriteBuffer) Pop() (WriteBufferEntry, bool) {
+	if len(b.entries) == 0 {
+		return WriteBufferEntry{}, false
+	}
+	e := b.entries[0]
+	copy(b.entries, b.entries[1:])
+	b.entries = b.entries[:len(b.entries)-1]
+	return e, true
+}
+
+// Contains reports whether a pending write matches addr at the
+// buffer's granule; reads must forward from (or wait for) such entries
+// instead of bypassing them.
+func (b *WriteBuffer) Contains(addr uint64) bool {
+	key := addr &^ (b.granule - 1)
+	for _, e := range b.entries {
+		if e.Addr == key {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordOverflow counts one processor stall caused by pushing against a
+// full buffer.
+func (b *WriteBuffer) RecordOverflow() { b.overflows++ }
+
+// Overflows returns how many overflow stalls were recorded.
+func (b *WriteBuffer) Overflows() uint64 { return b.overflows }
+
+// Peak returns the high-water occupancy.
+func (b *WriteBuffer) Peak() int { return b.peak }
+
+// Reset empties the buffer (between simulation phases in tests).
+func (b *WriteBuffer) Reset() { b.entries = b.entries[:0] }
+
+// MSHR tracks the outstanding misses that make the secondary cache
+// lockup-free (Kroft-style). Each entry maps a line address to the
+// cycle its fill completes; later requests for the same line merge into
+// the existing entry instead of issuing a second bus transaction.
+type MSHR struct {
+	name    string
+	cap     int
+	pending map[uint64]uint64 // line addr -> ready cycle
+	merges  uint64
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(name string, capacity int) *MSHR {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: bad MSHR capacity %d", capacity))
+	}
+	return &MSHR{name: name, cap: capacity, pending: make(map[uint64]uint64)}
+}
+
+// Lookup returns the completion cycle of an outstanding miss on line,
+// if one exists, and counts the merge.
+func (m *MSHR) Lookup(line uint64) (uint64, bool) {
+	ready, ok := m.pending[line]
+	if ok {
+		m.merges++
+	}
+	return ready, ok
+}
+
+// Full reports whether all entries are occupied.
+func (m *MSHR) Full() bool { return len(m.pending) >= m.cap }
+
+// Add records an outstanding miss on line completing at ready. Adding
+// to a full MSHR panics; the simulator stalls instead.
+func (m *MSHR) Add(line, ready uint64) {
+	if m.Full() {
+		panic(fmt.Sprintf("cache: MSHR %q overflow", m.name))
+	}
+	m.pending[line] = ready
+}
+
+// Retire removes entries that completed at or before now.
+func (m *MSHR) Retire(now uint64) {
+	for line, ready := range m.pending {
+		if ready <= now {
+			delete(m.pending, line)
+		}
+	}
+}
+
+// Len returns the number of outstanding misses.
+func (m *MSHR) Len() int { return len(m.pending) }
+
+// Merges returns how many requests merged into outstanding misses.
+func (m *MSHR) Merges() uint64 { return m.merges }

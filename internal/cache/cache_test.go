@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oscachesim/internal/coherence"
+)
+
+func l1dConfig() Config {
+	return Config{Name: "L1D", Size: 32 * 1024, LineSize: 16, Assoc: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		l1dConfig(),
+		{Name: "L2", Size: 256 * 1024, LineSize: 32, Assoc: 1},
+		{Name: "pbuf", Size: 8 * 16, LineSize: 16, Assoc: 8},
+		{Name: "4way", Size: 64 * 1024, LineSize: 64, Assoc: 4},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 16, Assoc: 1},
+		{Name: "nps", Size: 1024, LineSize: 24, Assoc: 1},
+		{Name: "noassoc", Size: 1024, LineSize: 16, Assoc: 0},
+		{Name: "indiv", Size: 1000, LineSize: 16, Assoc: 1},
+		{Name: "npsets", Size: 3 * 16, LineSize: 16, Assoc: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted bad config", c)
+		}
+	}
+}
+
+func TestConfigLines(t *testing.T) {
+	if got := l1dConfig().Lines(); got != 2048 {
+		t.Errorf("Lines() = %d, want 2048", got)
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(l1dConfig())
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("cold lookup hit")
+	}
+	v := c.Fill(0x1000, coherence.Exclusive, 0)
+	if v.Valid {
+		t.Fatalf("fill into empty cache evicted %+v", v)
+	}
+	l, ok := c.Lookup(0x1008) // same 16-byte line
+	if !ok || l.State != coherence.Exclusive {
+		t.Fatalf("lookup after fill: ok=%v l=%+v", ok, l)
+	}
+	if _, ok := c.Lookup(0x1010); ok {
+		t.Error("adjacent line hit")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(l1dConfig())
+	// Two addresses 32KB apart map to the same set in a 32KB
+	// direct-mapped cache.
+	a, b := uint64(0x1000), uint64(0x1000+32*1024)
+	c.Fill(a, coherence.Shared, 0)
+	v := c.Fill(b, coherence.Shared, 7)
+	if !v.Valid || v.Addr != a {
+		t.Fatalf("conflict fill evicted %+v, want %#x", v, a)
+	}
+	if _, ok := c.Lookup(a); ok {
+		t.Error("evicted line still present")
+	}
+	l, ok := c.Lookup(b)
+	if !ok || l.FilledByBlock != 7 {
+		t.Errorf("new line: ok=%v l=%+v", ok, l)
+	}
+}
+
+func TestRefillInPlace(t *testing.T) {
+	c := New(l1dConfig())
+	c.Fill(0x2000, coherence.Shared, 0)
+	v := c.Fill(0x2000, coherence.Modified, 3)
+	if v.Valid {
+		t.Errorf("refill evicted %+v", v)
+	}
+	l, _ := c.Lookup(0x2000)
+	if l.State != coherence.Modified || l.FilledByBlock != 3 {
+		t.Errorf("refilled line = %+v", l)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 4-way cache with a single set: 4 lines of 16 bytes.
+	c := New(Config{Name: "t", Size: 64, LineSize: 16, Assoc: 4})
+	addrs := []uint64{0x000, 0x100, 0x200, 0x300} // all map to set 0
+	for _, a := range addrs {
+		c.Fill(a, coherence.Shared, 0)
+	}
+	// Touch everything except 0x100, making it LRU.
+	c.Lookup(0x000)
+	c.Lookup(0x200)
+	c.Lookup(0x300)
+	v := c.Fill(0x400, coherence.Shared, 0)
+	if !v.Valid || v.Addr != 0x100 {
+		t.Errorf("LRU victim = %+v, want 0x100", v)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(l1dConfig())
+	c.Fill(0x3000, coherence.Modified, 0)
+	st, ok := c.Invalidate(0x3000)
+	if !ok || st != coherence.Modified {
+		t.Errorf("Invalidate = %v, %v", st, ok)
+	}
+	if _, ok := c.Lookup(0x3000); ok {
+		t.Error("line survived invalidation")
+	}
+	if _, ok := c.Invalidate(0x3000); ok {
+		t.Error("second invalidate reported present")
+	}
+}
+
+func TestStateAndPeek(t *testing.T) {
+	c := New(l1dConfig())
+	if st := c.State(0x4000); st != coherence.Invalid {
+		t.Errorf("cold State = %v", st)
+	}
+	c.Fill(0x4000, coherence.Exclusive, 0)
+	if st := c.State(0x4000); st != coherence.Exclusive {
+		t.Errorf("State = %v", st)
+	}
+	l, ok := c.Peek(0x4004)
+	if !ok || l.Tag != 0x4000 {
+		t.Errorf("Peek = %+v, %v", l, ok)
+	}
+	// Mutating through the returned pointer is visible.
+	l.State = coherence.Modified
+	if st := c.State(0x4000); st != coherence.Modified {
+		t.Errorf("mutation through Peek pointer lost: %v", st)
+	}
+}
+
+func TestFillStats(t *testing.T) {
+	c := New(Config{Name: "t", Size: 32, LineSize: 16, Assoc: 1})
+	c.Fill(0x00, coherence.Shared, 0)
+	c.Fill(0x10, coherence.Shared, 0)
+	c.Fill(0x20, coherence.Shared, 0) // evicts 0x00
+	fills, evs := c.Stats()
+	if fills != 3 || evs != 1 {
+		t.Errorf("Stats = %d fills, %d evictions", fills, evs)
+	}
+	n := 0
+	c.ForEachValid(func(Line) { n++ })
+	if n != 2 {
+		t.Errorf("valid lines = %d, want 2", n)
+	}
+}
+
+// Property: after any sequence of fills, the number of valid lines
+// never exceeds capacity, and every Lookup hit returns the line that
+// was most recently filled at that address.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "t", Size: 1024, LineSize: 16, Assoc: 2})
+		last := make(map[uint64]coherence.State)
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(64)) * 16 * uint64(rng.Intn(8)+1)
+			st := coherence.State(rng.Intn(3) + 1)
+			c.Fill(addr, st, 0)
+			last[c.LineAddr(addr)] = st
+		}
+		valid := 0
+		okAll := true
+		c.ForEachValid(func(l Line) {
+			valid++
+			if want, seen := last[l.Tag]; !seen || want != l.State {
+				okAll = false
+			}
+		})
+		return okAll && valid <= c.Config().Lines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBuffer(t *testing.T) {
+	b := NewWriteBuffer("l1wb", 4, 4)
+	if b.Cap() != 4 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh buffer state: len=%d cap=%d full=%v", b.Len(), b.Cap(), b.Full())
+	}
+	for i := 0; i < 4; i++ {
+		b.Push(WriteBufferEntry{Addr: uint64(i * 4), Ready: uint64(i)})
+	}
+	if !b.Full() {
+		t.Fatal("buffer not full after 4 pushes")
+	}
+	if b.Peak() != 4 {
+		t.Errorf("Peak = %d", b.Peak())
+	}
+	e, ok := b.Peek()
+	if !ok || e.Addr != 0 {
+		t.Errorf("Peek = %+v, %v", e, ok)
+	}
+	e, ok = b.Pop()
+	if !ok || e.Addr != 0 || b.Len() != 3 {
+		t.Errorf("Pop = %+v, len=%d", e, b.Len())
+	}
+	if !b.Contains(0x5) { // word granule: 0x4..0x7 match entry at 0x4
+		t.Error("Contains(0x5) = false, want forwarding match")
+	}
+	if b.Contains(0x100) {
+		t.Error("Contains(0x100) = true")
+	}
+	b.RecordOverflow()
+	if b.Overflows() != 1 {
+		t.Errorf("Overflows = %d", b.Overflows())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+}
+
+func TestWriteBufferFIFOOrder(t *testing.T) {
+	b := NewWriteBuffer("t", 8, 4)
+	for i := 0; i < 5; i++ {
+		b.Push(WriteBufferEntry{Addr: uint64(i) * 8})
+	}
+	for i := 0; i < 5; i++ {
+		e, ok := b.Pop()
+		if !ok || e.Addr != uint64(i)*8 {
+			t.Fatalf("pop %d = %+v, %v", i, e, ok)
+		}
+	}
+	if _, ok := b.Pop(); ok {
+		t.Error("Pop from empty buffer succeeded")
+	}
+}
+
+func TestWriteBufferPushFullPanics(t *testing.T) {
+	b := NewWriteBuffer("t", 1, 4)
+	b.Push(WriteBufferEntry{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Push into full buffer did not panic")
+		}
+	}()
+	b.Push(WriteBufferEntry{Addr: 8})
+}
+
+func TestWriteBufferLineGranule(t *testing.T) {
+	b := NewWriteBuffer("l2wb", 8, 32)
+	b.Push(WriteBufferEntry{Addr: 0x47, NeedsBus: true})
+	e, _ := b.Peek()
+	if e.Addr != 0x40 {
+		t.Errorf("line-granule push stored %#x, want 0x40", e.Addr)
+	}
+	if !b.Contains(0x5f) || b.Contains(0x60) {
+		t.Error("line-granule Contains wrong")
+	}
+}
+
+func TestMSHR(t *testing.T) {
+	m := NewMSHR("l2", 4)
+	if m.Full() || m.Len() != 0 {
+		t.Fatal("fresh MSHR not empty")
+	}
+	m.Add(0x100, 50)
+	ready, ok := m.Lookup(0x100)
+	if !ok || ready != 50 {
+		t.Errorf("Lookup = %d, %v", ready, ok)
+	}
+	if m.Merges() != 1 {
+		t.Errorf("Merges = %d", m.Merges())
+	}
+	if _, ok := m.Lookup(0x200); ok {
+		t.Error("Lookup of absent line hit")
+	}
+	m.Retire(49)
+	if m.Len() != 1 {
+		t.Error("Retire removed a still-pending entry")
+	}
+	m.Retire(50)
+	if m.Len() != 0 {
+		t.Error("Retire left a completed entry")
+	}
+}
+
+func TestMSHRFullPanics(t *testing.T) {
+	m := NewMSHR("t", 1)
+	m.Add(0x100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add into full MSHR did not panic")
+		}
+	}()
+	m.Add(0x200, 2)
+}

@@ -1,0 +1,254 @@
+// Package core is the paper's contribution layer: it defines the eight
+// systems the evaluation compares — Base, the four block-operation
+// schemes of Section 4 (Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma),
+// the two coherence-optimization systems of Section 5 (BCoh_Reloc =
+// Blk_Dma + privatization/relocation, BCoh_RelUp = BCoh_Reloc +
+// selective update), and the full system of Section 6 (BCPref =
+// BCoh_RelUp + hot-spot prefetching) — and runs a workload under any
+// of them, wiring together the workload generator (which applies the
+// software-side optimizations when building the kernel) and the
+// machine simulator (which applies the hardware-side ones).
+package core
+
+import (
+	"fmt"
+
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/memory"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/workload"
+)
+
+// System identifies one evaluated machine/kernel configuration.
+type System int
+
+const (
+	// Base is the unmodified machine and kernel (Section 2.4).
+	Base System = iota
+	// BlkPref software-prefetches block-operation source data with
+	// loop unrolling and software pipelining.
+	BlkPref
+	// BlkBypass routes block loads and stores around the caches
+	// through line-wide bypass registers.
+	BlkBypass
+	// BlkByPref combines bypassing with an 8-line source prefetch
+	// buffer; destination writes are cached.
+	BlkByPref
+	// BlkDma performs block operations with the DMA-like smart cache
+	// controller, pipelining the transfer on the bus.
+	BlkDma
+	// BCohReloc is BlkDma plus data privatization and relocation.
+	BCohReloc
+	// BCohRelUp is BCohReloc plus the Firefly update protocol on the
+	// 384-byte core of shared variables (one page, selected by the
+	// per-page TLB attribute).
+	BCohRelUp
+	// BCPref is BCohRelUp plus software prefetching of the 12 miss
+	// hot spots — the paper's full system.
+	BCPref
+	NumSystems
+)
+
+// String returns the paper's name for the system.
+func (s System) String() string {
+	names := [...]string{
+		"Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref",
+		"Blk_Dma", "BCoh_Reloc", "BCoh_RelUp", "BCPref",
+	}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Systems lists all systems in the paper's presentation order.
+func Systems() []System {
+	return []System{Base, BlkPref, BlkBypass, BlkByPref, BlkDma, BCohReloc, BCohRelUp, BCPref}
+}
+
+// ParseSystem converts a system name (as printed by String) back.
+func ParseSystem(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown system %q", name)
+}
+
+// KernelOpt returns the software-side (kernel build) configuration of
+// the system.
+func (s System) KernelOpt() kernel.OptConfig {
+	var o kernel.OptConfig
+	switch s {
+	case Base, BlkBypass:
+		// Hardware-only changes: same kernel binary as Base.
+	case BlkPref, BlkByPref:
+		o.BlockPrefetch = true
+	case BlkDma:
+		o.BlockDMA = true
+	case BCohReloc:
+		o.BlockDMA = true
+		o.Privatize = true
+		o.Relocate = true
+	case BCohRelUp:
+		o.BlockDMA = true
+		o.Privatize = true
+		o.Relocate = true
+	case BCPref:
+		o.BlockDMA = true
+		o.Privatize = true
+		o.Relocate = true
+		o.HotSpotPrefetch = true
+	}
+	return o
+}
+
+// Apply configures the hardware side of the system on machine
+// parameters.
+func (s System) Apply(p *sim.Params) {
+	switch s {
+	case BlkBypass:
+		p.Block = sim.BlockBypass
+	case BlkByPref:
+		p.Block = sim.BlockBypassPref
+	case BlkDma, BCohReloc, BCohRelUp, BCPref:
+		p.Block = sim.BlockDMA
+	default:
+		p.Block = sim.BlockCached
+	}
+	if s == BCohRelUp || s == BCPref {
+		attrs := memory.NewAttrTable()
+		for _, page := range kernel.UpdatePages() {
+			attrs.Set(page, memory.PageAttr{Update: true})
+		}
+		p.Attrs = attrs
+	} else {
+		p.Attrs = nil
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Workload names the traced workload.
+	Workload workload.Name
+	// System selects the machine/kernel configuration.
+	System System
+	// Scale is the number of generated scheduling rounds (0 = the
+	// workload default).
+	Scale int
+	// Seed makes the run deterministic; runs comparing systems must
+	// share a seed so they face the same workload.
+	Seed int64
+	// Machine optionally overrides the base machine (cache geometry
+	// sweeps); nil means the paper's machine. System-specific fields
+	// (block scheme, page attributes) are set by Apply regardless.
+	Machine *sim.Params
+	// DeferredCopy additionally enables the Section 4.2.1 deferred
+	// sub-page copying study.
+	DeferredCopy bool
+	// PureUpdate applies the Firefly update protocol to every page
+	// (the comparison point of the Section 5.2 traffic study) instead
+	// of the system's own protocol selection.
+	PureUpdate bool
+	// UpdateSet, when non-nil, overrides the pages that receive the
+	// update attribute (the selective-update granularity ablation);
+	// kernel.UpdatePages lists the candidates.
+	UpdateSet []uint64
+	// PrefDist, when positive, overrides the software-pipelining
+	// distance of block-operation prefetching (the Blk_Pref ablation).
+	PrefDist int
+	// TrackConflicts enables the Section 6 conflict census: every
+	// primary-cache eviction is attributed to the (evictor, victim)
+	// data-structure pair.
+	TrackConflicts bool
+}
+
+// Outcome is the result of one run.
+type Outcome struct {
+	// Config echoes the run configuration.
+	Config RunConfig
+	// Counters is the simulator's measurement record.
+	Counters stats.Counters
+	// Deferred carries the kernel's Table 4 counters.
+	Deferred kernel.DeferredCopyStats
+	// Refs is the number of references simulated.
+	Refs uint64
+	// Conflicts is the (evictor, victim) eviction census, present only
+	// when TrackConflicts was set.
+	Conflicts map[sim.ConflictPair]uint64
+}
+
+// OSTime returns the operating-system execution time of the run in
+// cycles — the quantity every figure normalizes by.
+func (o *Outcome) OSTime() uint64 { return o.Counters.OSTime() }
+
+// Run executes one configuration.
+func Run(cfg RunConfig) (*Outcome, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	opt := cfg.System.KernelOpt()
+	if cfg.DeferredCopy {
+		opt.DeferredCopy = true
+	}
+	if cfg.PrefDist > 0 {
+		opt.BlockPrefDist = cfg.PrefDist
+	}
+	built := workload.Build(cfg.Workload, opt, cfg.Scale, cfg.Seed)
+
+	var p sim.Params
+	if cfg.Machine != nil {
+		p = *cfg.Machine
+	} else {
+		p = sim.DefaultParams()
+	}
+	cfg.System.Apply(&p)
+	if cfg.UpdateSet != nil {
+		attrs := memory.NewAttrTable()
+		for _, page := range cfg.UpdateSet {
+			attrs.Set(page, memory.PageAttr{Update: true})
+		}
+		p.Attrs = attrs
+	}
+	if cfg.PureUpdate {
+		attrs := memory.NewAttrTable()
+		attrs.SetDefault(memory.PageAttr{Update: true})
+		p.Attrs = attrs
+	}
+	if cfg.TrackConflicts {
+		regions := kernel.AddressMap()
+		p.RegionNamer = regions.Name
+	}
+
+	s, err := sim.New(p, built.Sources())
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
+	}
+	return &Outcome{
+		Config:    cfg,
+		Counters:  res.Counters,
+		Deferred:  built.Kernel.DeferredCopies(),
+		Refs:      res.Refs,
+		Conflicts: res.Conflicts,
+	}, nil
+}
+
+// RunAll runs one workload under several systems with a shared seed
+// and returns outcomes in order.
+func RunAll(name workload.Name, systems []System, scale int, seed int64) ([]*Outcome, error) {
+	outs := make([]*Outcome, 0, len(systems))
+	for _, sys := range systems {
+		o, err := Run(RunConfig{Workload: name, System: sys, Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}

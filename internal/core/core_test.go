@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"oscachesim/internal/sim"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/workload"
+)
+
+const testScale = 6
+
+func TestSystemStrings(t *testing.T) {
+	want := []string{"Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma", "BCoh_Reloc", "BCoh_RelUp", "BCPref"}
+	for i, sys := range Systems() {
+		if sys.String() != want[i] {
+			t.Errorf("system %d = %q, want %q", i, sys, want[i])
+		}
+	}
+	if System(99).String() == "" {
+		t.Error("unknown system empty string")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	for _, sys := range Systems() {
+		got, err := ParseSystem(sys.String())
+		if err != nil || got != sys {
+			t.Errorf("ParseSystem(%q) = %v, %v", sys, got, err)
+		}
+	}
+	if _, err := ParseSystem("nope"); err == nil {
+		t.Error("ParseSystem accepted junk")
+	}
+}
+
+func TestKernelOptPerSystem(t *testing.T) {
+	if KernelOptOf := Base.KernelOpt(); KernelOptOf != (BlkBypass.KernelOpt()) {
+		t.Error("Base and Blk_Bypass must share a kernel build (hardware-only change)")
+	}
+	if !BlkPref.KernelOpt().BlockPrefetch || !BlkByPref.KernelOpt().BlockPrefetch {
+		t.Error("prefetch systems lack BlockPrefetch")
+	}
+	if !BlkDma.KernelOpt().BlockDMA {
+		t.Error("Blk_Dma lacks BlockDMA")
+	}
+	o := BCPref.KernelOpt()
+	if !o.BlockDMA || !o.Privatize || !o.Relocate || !o.HotSpotPrefetch {
+		t.Errorf("BCPref kernel opt = %+v", o)
+	}
+	if BCohReloc.KernelOpt().HotSpotPrefetch {
+		t.Error("BCoh_Reloc must not prefetch hot spots")
+	}
+}
+
+func TestApplyPerSystem(t *testing.T) {
+	cases := map[System]sim.BlockScheme{
+		Base:      sim.BlockCached,
+		BlkPref:   sim.BlockCached,
+		BlkBypass: sim.BlockBypass,
+		BlkByPref: sim.BlockBypassPref,
+		BlkDma:    sim.BlockDMA,
+		BCohReloc: sim.BlockDMA,
+		BCohRelUp: sim.BlockDMA,
+		BCPref:    sim.BlockDMA,
+	}
+	for sys, want := range cases {
+		p := sim.DefaultParams()
+		sys.Apply(&p)
+		if p.Block != want {
+			t.Errorf("%v block scheme = %v, want %v", sys, p.Block, want)
+		}
+		wantAttrs := sys == BCohRelUp || sys == BCPref
+		if (p.Attrs != nil) != wantAttrs {
+			t.Errorf("%v attrs presence = %v, want %v", sys, p.Attrs != nil, wantAttrs)
+		}
+	}
+}
+
+func TestRunBase(t *testing.T) {
+	o, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if o.Refs == 0 || o.Counters.Cycles == 0 {
+		t.Fatalf("empty outcome: %+v", o)
+	}
+	if o.OSTime() == 0 {
+		t.Error("no OS time recorded")
+	}
+	if o.Counters.OSDReadMisses() == 0 {
+		t.Error("no OS misses recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Error("identical configs produced different counters")
+	}
+}
+
+// TestOptimizationShape verifies the paper's headline relationships on
+// a small run of TRFD_4:
+//
+//   - Blk_Dma eliminates all block misses and reduces total OS misses;
+//   - BCoh_RelUp nearly eliminates coherence misses;
+//   - BCPref has the fewest misses of all systems;
+//   - the full system is faster than Base.
+func TestOptimizationShape(t *testing.T) {
+	outs := map[System]*Outcome{}
+	for _, sys := range Systems() {
+		o, err := Run(RunConfig{Workload: workload.TRFD4, System: sys, Scale: 10, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		outs[sys] = o
+	}
+	base := outs[Base].Counters.OSDReadMisses()
+	if m := outs[BlkDma].Counters.OSMissBy[stats.MissBlock]; m != 0 {
+		t.Errorf("Blk_Dma block misses = %d, want 0", m)
+	}
+	if outs[BlkDma].Counters.OSDReadMisses() >= base {
+		t.Error("Blk_Dma did not reduce OS misses")
+	}
+	relupCoh := outs[BCohRelUp].Counters.OSMissBy[stats.MissCoherence]
+	dmaCoh := outs[BlkDma].Counters.OSMissBy[stats.MissCoherence]
+	if relupCoh*4 >= dmaCoh && dmaCoh > 20 {
+		t.Errorf("selective update left %d of %d coherence misses", relupCoh, dmaCoh)
+	}
+	bcpref := outs[BCPref].Counters.OSDReadMisses()
+	for sys, o := range outs {
+		if sys != BCPref && o.Counters.OSDReadMisses() < bcpref {
+			t.Errorf("%v has fewer misses (%d) than BCPref (%d)", sys, o.Counters.OSDReadMisses(), bcpref)
+		}
+	}
+	if outs[BCPref].OSTime() >= outs[Base].OSTime() {
+		t.Errorf("BCPref OS time %d not below Base %d", outs[BCPref].OSTime(), outs[Base].OSTime())
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	outs, err := RunAll(workload.Shell, []System{Base, BlkDma}, testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0].Config.System != Base || outs[1].Config.System != BlkDma {
+		t.Errorf("RunAll outcomes wrong: %v", outs)
+	}
+}
+
+func TestRunCustomMachine(t *testing.T) {
+	p := sim.DefaultParams()
+	p.L1D.Size = 16 * 1024
+	small, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1, Machine: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Counters.OSDReadMisses() <= big.Counters.OSDReadMisses() {
+		t.Errorf("16KB cache misses (%d) not above 32KB (%d)",
+			small.Counters.OSDReadMisses(), big.Counters.OSDReadMisses())
+	}
+}
+
+func TestRunDeferredCopy(t *testing.T) {
+	o, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 1, DeferredCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Deferred.DeferredElided == 0 {
+		t.Error("deferred-copy run elided nothing")
+	}
+}
+
+func TestRunPureUpdate(t *testing.T) {
+	o, err := Run(RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1, PureUpdate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inval, err := Run(RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Counters.OSMissBy[stats.MissCoherence] >= inval.Counters.OSMissBy[stats.MissCoherence] &&
+		inval.Counters.OSMissBy[stats.MissCoherence] > 10 {
+		t.Errorf("pure update coherence misses (%d) not below invalidate (%d)",
+			o.Counters.OSMissBy[stats.MissCoherence], inval.Counters.OSMissBy[stats.MissCoherence])
+	}
+}
+
+// TestHeadlineRobustAcrossSeeds guards the paper's headline against
+// seed luck: under three different workload seeds, the full system
+// must reduce OS misses by more than half and never slow the OS down.
+func TestHeadlineRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		base, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(RunConfig{Workload: workload.TRFD4, System: BCPref, Scale: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, fm := base.Counters.OSDReadMisses(), full.Counters.OSDReadMisses()
+		if fm*2 >= bm {
+			t.Errorf("seed %d: BCPref left %d of %d misses (>50%%)", seed, fm, bm)
+		}
+		if full.OSTime() > base.OSTime() {
+			t.Errorf("seed %d: BCPref slower (%d) than Base (%d)", seed, full.OSTime(), base.OSTime())
+		}
+	}
+}

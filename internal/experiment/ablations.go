@@ -1,0 +1,328 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/monitor"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/trace"
+	"oscachesim/internal/workload"
+)
+
+// The ablation studies quantify the sensitivity of the paper's results
+// to the design choices its text motivates but does not sweep:
+//
+//   - how deep the write buffers must be (Section 4.1.2 suggests
+//     "deeper write buffers" as the obvious alternative to Blk_Dma);
+//   - how much software-pipelining lead Blk_Pref needs (Section 4.1.1);
+//   - how sensitive Blk_Dma is to its bus transfer rate (Section 4.2
+//     fixes 8 bytes per 2 bus cycles as the best case);
+//   - which subset of the 384-byte selective-update set pays
+//     (Section 5.2 chose barriers + 10 locks + producer-consumer
+//     variables as a unit);
+//   - what set-associativity would do to the conflict ("Other") misses
+//     the Section 6 prefetching attacks (the machine is direct-mapped
+//     throughout).
+//
+// Each study runs on one representative workload and prints one row
+// per configuration.
+
+// Ablations lists the ablation studies by id.
+func Ablations() []Experiment {
+	return []Experiment{
+		{"write-buffers", "Ablation: write buffer depth vs block-operation write stall", AblationWriteBuffers},
+		{"prefetch-distance", "Ablation: Blk_Pref software-pipelining distance", AblationPrefetchDistance},
+		{"dma-rate", "Ablation: Blk_Dma bus transfer rate", AblationDMARate},
+		{"update-set", "Ablation: selective-update variable set granularity", AblationUpdateSet},
+		{"associativity", "Ablation: primary-cache associativity vs conflict misses", AblationAssociativity},
+		{"conflict-pairs", "Analysis: conflict-pair census (Section 6)", ConflictAnalysis},
+		{"perturbation", "Analysis: instrumentation perturbation (Section 2.2)", InstrumentationPerturbation},
+	}
+}
+
+// FindAblation returns the ablation with the given id.
+func FindAblation(id string) (Experiment, error) {
+	for _, e := range Ablations() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Ablations() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown ablation %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// AblationWriteBuffers sweeps the depths of the two write buffers on
+// the workload with the heaviest block-write pressure (TRFD_4's
+// page-sized operations).
+func AblationWriteBuffers(r *Runner) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: write buffer depth (TRFD_4, Base system)\n")
+	b.WriteString("  l1wb l2wb | OS time  D-write stall  block write-stall share\n")
+	var baseTime float64
+	for _, depths := range [][2]int{{2, 4}, {4, 8}, {8, 16}, {16, 32}} {
+		p := sim.DefaultParams()
+		p.L1WriteBufDepth = depths[0]
+		p.L2WriteBufDepth = depths[1]
+		o, err := r.OutcomeOn(workload.TRFD4, core.Base, p)
+		if err != nil {
+			return "", err
+		}
+		if baseTime == 0 {
+			baseTime = float64(o.OSTime())
+		}
+		osT := o.Counters.Time[trace.KindOS]
+		ov := o.Counters.BlockOverhead
+		share := 0.0
+		if ov.Total() > 0 {
+			share = 100 * float64(ov.WriteStall) / float64(ov.Total())
+		}
+		fmt.Fprintf(&b, "  %4d %4d |  %6.3f  %12d  %21.1f%%\n",
+			depths[0], depths[1], float64(o.OSTime())/baseTime, osT.DWrite, share)
+	}
+	b.WriteString("  (The paper's machine is 4/8. Deeper buffers shave write stall but\n")
+	b.WriteString("   cannot remove the bus transactions themselves — Blk_Dma can.)\n")
+	return b.String(), nil
+}
+
+// AblationPrefetchDistance sweeps the Blk_Pref software-pipelining
+// lead on TRFD+Make.
+func AblationPrefetchDistance(r *Runner) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: Blk_Pref software-pipelining distance (TRFD+Make)\n")
+	b.WriteString("  dist | OS misses (vs Base)  late prefetches / issued\n")
+	base, err := r.Outcome(workload.TRFDMake, core.Base)
+	if err != nil {
+		return "", err
+	}
+	bm := float64(base.Counters.OSDReadMisses())
+	for _, dist := range []int{1, 2, 4, 8} {
+		o, err := r.outcome(runKey{w: workload.TRFDMake, sys: core.BlkPref, machine: fmt.Sprintf("prefdist=%d", dist)}, nil, func(cfg *core.RunConfig) {
+			cfg.PrefDist = dist
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %4d | %9.2f            %d / %d\n",
+			dist, float64(o.Counters.OSDReadMisses())/bm,
+			o.Counters.LatePrefetches, o.Counters.Prefetches)
+	}
+	b.WriteString("  (Too little lead leaves prefetches late — the paper's residual\n")
+	b.WriteString("   block misses; more lead hides more until the MSHRs saturate.)\n")
+	return b.String(), nil
+}
+
+// AblationDMARate sweeps the Blk_Dma transfer rate around the paper's
+// best case of 8 bytes per 2 bus cycles.
+func AblationDMARate(r *Runner) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: Blk_Dma bus transfer rate (TRFD_4)\n")
+	b.WriteString("  cycles/8B | OS time (vs Base)\n")
+	base, err := r.Outcome(workload.TRFD4, core.Base)
+	if err != nil {
+		return "", err
+	}
+	bt := float64(base.OSTime())
+	for _, per8 := range []uint64{5, 10, 20, 40} {
+		p := sim.DefaultParams()
+		p.DMACyclesPer8B = per8
+		o, err := r.OutcomeOn(workload.TRFD4, core.BlkDma, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %9d | %7.3f\n", per8, float64(o.OSTime())/bt)
+	}
+	b.WriteString("  (10 cycles/8B is the paper's 2-bus-cycle best case; the scheme's\n")
+	b.WriteString("   advantage erodes as the pipelined rate degrades.)\n")
+	return b.String(), nil
+}
+
+// AblationUpdateSet enables the update protocol for growing subsets of
+// the selective-update variable set on TRFD_4 (whose coherence misses
+// are barrier-dominated).
+func AblationUpdateSet(r *Runner) (string, error) {
+	pages := kernel.UpdatePages()
+	subsets := []struct {
+		name string
+		set  []uint64
+	}{
+		{"none (invalidate)", []uint64{}},
+		{"barriers", pages[:1]},
+		{"barriers+locks", pages[:2]},
+		{"all (BCoh_RelUp)", pages},
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: selective-update set granularity (TRFD_4, on BCoh_Reloc)\n")
+	b.WriteString("  set                | OS misses  coherence  bus bytes (vs invalidate)\n")
+	var bm, bc, bt float64
+	for i, sub := range subsets {
+		o, err := r.outcome(runKey{w: workload.TRFD4, sys: core.BCohReloc, machine: "updset=" + sub.name}, nil, func(cfg *core.RunConfig) {
+			set := sub.set
+			cfg.UpdateSet = set
+		})
+		if err != nil {
+			return "", err
+		}
+		m := float64(o.Counters.OSDReadMisses())
+		coh := float64(o.Counters.OSMissBy[1])
+		traffic := float64(o.Counters.Bus.TotalBytes())
+		if i == 0 {
+			bm, bc, bt = m, coh, traffic
+		}
+		fmt.Fprintf(&b, "  %-18s | %9.2f  %9.2f  %9.3f\n", sub.name, m/bm, coh/bc, traffic/bt)
+	}
+	b.WriteString("  (Barriers alone buy most of the coherence-miss reduction on this\n")
+	b.WriteString("   barrier-heavy workload; locks and producer-consumer variables\n")
+	b.WriteString("   add the rest, as the paper's 384-byte set does.)\n")
+	return b.String(), nil
+}
+
+// AblationAssociativity sweeps the primary data cache associativity —
+// the machine the paper simulates is direct-mapped everywhere, which
+// is what makes its conflict misses (and the Section 6 hot spots)
+// large.
+func AblationAssociativity(r *Runner) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: L1D associativity (Shell, Base system)\n")
+	b.WriteString("  assoc | OS misses (vs direct-mapped)  'Other' share\n")
+	var bm float64
+	for _, assoc := range []int{1, 2, 4} {
+		p := sim.DefaultParams()
+		p.L1D.Assoc = assoc
+		o, err := r.OutcomeOn(workload.Shell, core.Base, p)
+		if err != nil {
+			return "", err
+		}
+		m := float64(o.Counters.OSDReadMisses())
+		if bm == 0 {
+			bm = m
+		}
+		total := o.Counters.OSMissBy[0] + o.Counters.OSMissBy[1] + o.Counters.OSMissBy[2]
+		other := 100 * float64(o.Counters.OSMissBy[2]) / float64(total)
+		fmt.Fprintf(&b, "  %5d | %9.2f                     %6.1f%%\n", assoc, m/bm, other)
+	}
+	b.WriteString("  (Associativity attacks the same conflict misses the hot-spot\n")
+	b.WriteString("   prefetching of Section 6 hides in software.)\n")
+	return b.String(), nil
+}
+
+// ConflictAnalysis reproduces the Section 6 conflict study: the paper
+// simulated, for each conflict miss, which pair of data structures was
+// involved, found that "no two data structures suffer obvious conflicts
+// with each other — a given data structure suffers conflicts with
+// several data structures" (random conflicts), and therefore performed
+// no relocation. This study prints the eviction census by
+// (evictor, victim) structure pair and checks the same dispersion.
+func ConflictAnalysis(r *Runner) (string, error) {
+	o, err := r.outcome(runKey{w: workload.Shell, sys: core.Base, machine: "conflicts"}, nil,
+		func(cfg *core.RunConfig) { cfg.TrackConflicts = true })
+	if err != nil {
+		return "", err
+	}
+	type row struct {
+		pair sim.ConflictPair
+		n    uint64
+	}
+	var rows []row
+	var total, cross uint64
+	for pr, n := range o.Conflicts {
+		total += n
+		if pr.Evictor != pr.Victim {
+			cross += n
+			rows = append(rows, row{pr, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].pair.Evictor+rows[i].pair.Victim < rows[j].pair.Evictor+rows[j].pair.Victim
+	})
+	var b strings.Builder
+	b.WriteString("Ablation: conflict-pair census (Shell, Base system; Section 6's analysis)\n")
+	fmt.Fprintf(&b, "  %d primary-cache evictions, %d cross-structure (%.1f%%); top pairs:\n",
+		total, cross, 100*float64(cross)/float64(total))
+	top := rows
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	for _, rw := range top {
+		fmt.Fprintf(&b, "    %-12s evicts %-12s %7d (%4.1f%% of cross-structure)\n",
+			rw.pair.Evictor, rw.pair.Victim, rw.n, 100*float64(rw.n)/float64(cross))
+	}
+	if len(rows) > 0 {
+		share := 100 * float64(rows[0].n) / float64(cross)
+		fmt.Fprintf(&b, "  dominant pair holds %.1f%%: conflicts are %s, matching the paper's\n",
+			share, map[bool]string{true: "dispersed (random)", false: "concentrated"}[share < 50])
+		b.WriteString("  finding that no single structure pair dominates, so relocation of a\n")
+		b.WriteString("  specific pair would not pay — prefetching the hot spots does.\n")
+	}
+	return b.String(), nil
+}
+
+// InstrumentationPerturbation reproduces the Section 2.2 validation:
+// the authors instrumented every basic block with an escape load
+// (growing the code ~30%) and verified that the perturbation "does not
+// significantly affect the metrics that we measure". Here the same
+// workload is simulated twice — as built, and as the instrumented
+// kernel would execute (escape loads added, instructions kept) — and
+// the study's key metrics are compared.
+func InstrumentationPerturbation(r *Runner) (string, error) {
+	b := workload.Build(workload.TRFD4, kernel.OptConfig{}, r.cfg.Scale, r.cfg.Seed)
+	table := monitor.NewBlockTable()
+	instr := make([]trace.Source, len(b.PerCPU))
+	var stats monitor.InstrumentStats
+	for c, refs := range b.PerCPU {
+		out, st := monitor.InstrumentKeepInstrs(refs, table)
+		instr[c] = trace.NewSliceSource(out)
+		stats.Instrs += st.Instrs
+		stats.Escapes += st.Escapes
+	}
+	simulate := func(srcs []trace.Source) (*sim.Result, error) {
+		s, err := sim.New(sim.DefaultParams(), srcs)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run()
+	}
+	plain, err := simulate(b.Sources())
+	if err != nil {
+		return "", err
+	}
+	inst, err := simulate(instr)
+	if err != nil {
+		return "", err
+	}
+	var bldr strings.Builder
+	bldr.WriteString("Analysis: instrumentation perturbation (TRFD_4; Section 2.2's check)\n")
+	fmt.Fprintf(&bldr, "  escape loads inserted: %d (%.1f%% instruction overhead; paper: ~30%%)\n",
+		stats.Escapes, 100*stats.Overhead())
+	metric := func(name string, a, b float64) {
+		delta := 0.0
+		if a != 0 {
+			delta = 100 * (b - a) / a
+		}
+		fmt.Fprintf(&bldr, "  %-28s %12.4f -> %12.4f  (%+.1f%%)\n", name, a, b, delta)
+	}
+	pc, ic := plain.Counters, inst.Counters
+	metric("OS time share", float64(pc.OSTime())/float64(pc.TotalTime()), float64(ic.OSTime())/float64(ic.TotalTime()))
+	// The authors discarded escape references before computing
+	// statistics, so the instrumented miss rate is taken over real
+	// data reads only (the escapes themselves virtually always hit).
+	instReads := ic.TotalDReads() - uint64(stats.Escapes)
+	metric("D-miss rate (escapes excluded)", pc.D1MissRate(),
+		float64(ic.TotalDReadMisses())/float64(instReads))
+	metric("OS miss share", float64(pc.OSDReadMisses())/float64(pc.TotalDReadMisses()),
+		float64(ic.OSDReadMisses())/float64(ic.TotalDReadMisses()))
+	metric("block-miss share of OS", float64(pc.OSMissBy[0])/float64(pc.OSDReadMisses()),
+		float64(ic.OSMissBy[0])/float64(ic.OSDReadMisses()))
+	bldr.WriteString("  (The relative metrics the study reports move only a little under\n")
+	bldr.WriteString("   instrumentation, which is what justified trusting the traces.)\n")
+	return bldr.String(), nil
+}

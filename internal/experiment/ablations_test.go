@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationsListed(t *testing.T) {
+	abls := Ablations()
+	if len(abls) != 7 {
+		t.Fatalf("Ablations() = %d studies, want 7", len(abls))
+	}
+	for _, e := range abls {
+		if e.ID == "" || e.Render == nil {
+			t.Errorf("incomplete ablation %+v", e)
+		}
+	}
+	if _, err := FindAblation("update-set"); err != nil {
+		t.Errorf("FindAblation(update-set): %v", err)
+	}
+	if _, err := FindAblation("nope"); err == nil {
+		t.Error("FindAblation accepted junk")
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	r := testRunner()
+	for _, e := range Ablations() {
+		out, err := e.Render(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if !strings.Contains(out, "Ablation:") && !strings.Contains(out, "Analysis:") {
+			t.Errorf("%s: missing header:\n%s", e.ID, out)
+		}
+		if strings.Count(out, "\n") < 4 {
+			t.Errorf("%s: too few rows:\n%s", e.ID, out)
+		}
+	}
+}
+
+// TestAblationUpdateSetMonotone: enabling update on more of the shared
+// variable set must never increase coherence misses.
+func TestAblationUpdateSetMonotone(t *testing.T) {
+	r := testRunner()
+	out, err := AblationUpdateSet(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse the coherence column; it must be non-increasing.
+	var last = 1e18
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		fields := strings.Fields(line[strings.Index(line, "|")+1:])
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscan(fields[1], &v); err != nil {
+			continue
+		}
+		if v > last+1e-9 {
+			t.Errorf("coherence misses increased along the subset chain: %v after %v\n%s", v, last, out)
+		}
+		last = v
+	}
+}

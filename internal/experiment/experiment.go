@@ -1,0 +1,218 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation. Each experiment maps to one function returning rendered
+// text (the same rows/series the paper reports); a memoizing Runner
+// shares simulation outcomes between experiments so regenerating the
+// whole evaluation costs one run per (workload, system) pair.
+//
+// The paper's published values are embedded (paper.go) so every
+// experiment can print a paper-vs-measured comparison; EXPERIMENTS.md
+// is generated from exactly this output.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Scale is the number of generated scheduling rounds per workload
+	// (0 = workload default). Larger is slower and smoother.
+	Scale int
+	// Seed drives all generation deterministically.
+	Seed int64
+	// Parallel runs independent simulations on multiple goroutines.
+	Parallel bool
+}
+
+// DefaultConfig returns the configuration used for the published
+// EXPERIMENTS.md numbers.
+func DefaultConfig() Config { return Config{Scale: 0, Seed: 1, Parallel: true} }
+
+// runKey identifies a memoized outcome.
+type runKey struct {
+	w        workload.Name
+	sys      core.System
+	deferred bool
+	pureUpd  bool
+	machine  string // geometry signature, "" = default machine
+}
+
+// Runner memoizes simulation outcomes across experiments.
+type Runner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	cache map[runKey]*core.Outcome
+}
+
+// NewRunner returns a Runner for the given config.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Runner{cfg: cfg, cache: make(map[runKey]*core.Outcome)}
+}
+
+// Outcome returns the (cached) outcome of a workload under a system on
+// the default machine.
+func (r *Runner) Outcome(w workload.Name, sys core.System) (*core.Outcome, error) {
+	return r.outcome(runKey{w: w, sys: sys}, nil)
+}
+
+// OutcomeDeferred returns the outcome with deferred copying enabled.
+func (r *Runner) OutcomeDeferred(w workload.Name, sys core.System) (*core.Outcome, error) {
+	return r.outcome(runKey{w: w, sys: sys, deferred: true}, nil)
+}
+
+// OutcomePureUpdate returns the outcome under a machine-wide update
+// protocol.
+func (r *Runner) OutcomePureUpdate(w workload.Name, sys core.System) (*core.Outcome, error) {
+	return r.outcome(runKey{w: w, sys: sys, pureUpd: true}, nil)
+}
+
+// OutcomeOn returns the outcome on a custom machine geometry.
+func (r *Runner) OutcomeOn(w workload.Name, sys core.System, p sim.Params) (*core.Outcome, error) {
+	// The signature must cover every field a study may sweep.
+	sig := fmt.Sprintf("l1d=%d/%d/%d l1i=%d/%d l2=%d/%d/%d wb=%d/%d lat=%d/%d/%d dma=%d/%d/%d mshr=%d",
+		p.L1D.Size, p.L1D.LineSize, p.L1D.Assoc,
+		p.L1I.Size, p.L1I.LineSize,
+		p.L2.Size, p.L2.LineSize, p.L2.Assoc,
+		p.L1WriteBufDepth, p.L2WriteBufDepth,
+		p.L1HitCycles, p.L2HitCycles, p.MemCycles,
+		p.DMASetupCycles, p.DMACyclesPer8B, p.DMASnoopPenalty,
+		p.MSHREntries)
+	return r.outcome(runKey{w: w, sys: sys, machine: sig}, &p)
+}
+
+func (r *Runner) outcome(k runKey, machine *sim.Params, mods ...func(*core.RunConfig)) (*core.Outcome, error) {
+	r.mu.Lock()
+	if o, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return o, nil
+	}
+	r.mu.Unlock()
+	cfg := core.RunConfig{
+		Workload:     k.w,
+		System:       k.sys,
+		Scale:        r.cfg.Scale,
+		Seed:         r.cfg.Seed,
+		Machine:      machine,
+		DeferredCopy: k.deferred,
+		PureUpdate:   k.pureUpd,
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	o, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[k] = o
+	r.mu.Unlock()
+	return o, nil
+}
+
+// Pair names one (workload, system) simulation.
+type Pair struct {
+	Workload workload.Name
+	System   core.System
+}
+
+// WarmUp runs the given pairs concurrently (when the config allows) so
+// later experiment renders hit the cache. The first error, if any, is
+// returned.
+func (r *Runner) WarmUp(pairs []Pair) error {
+	if !r.cfg.Parallel {
+		for _, pr := range pairs {
+			if _, err := r.Outcome(pr.Workload, pr.System); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Bound the in-flight simulations: each holds a full trace in
+	// memory, so unbounded fan-out trades CPU time for page faults.
+	sem := make(chan struct{}, max(1, min(4, runtime.NumCPU())))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(pairs))
+	for _, pr := range pairs {
+		pr := pr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Outcome(pr.Workload, pr.System); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// AllPairs returns every (workload, system) combination — the full
+// evaluation grid.
+func AllPairs() []Pair {
+	var pairs []Pair
+	for _, w := range workload.Names() {
+		for _, sys := range core.Systems() {
+			pairs = append(pairs, Pair{w, sys})
+		}
+	}
+	return pairs
+}
+
+// Experiment names one regenerable table or figure.
+type Experiment struct {
+	// ID is the short name ("table1", "figure3", "update-traffic").
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Render runs the experiment and returns its text.
+	Render func(*Runner) (string, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: Characteristics of the workloads studied", Table1},
+		{"table2", "Table 2: Breakdown of operating system data misses", Table2},
+		{"table3", "Table 3: Characteristics of the block operations", Table3},
+		{"table4", "Table 4: Characteristics of copies of blocks smaller than a page", Table4},
+		{"table5", "Table 5: Breakdown of coherence misses in the operating system", Table5},
+		{"figure1", "Figure 1: Components of the overhead of block operations", Figure1},
+		{"figure2", "Figure 2: Normalized OS read misses under block-operation support", Figure2},
+		{"figure3", "Figure 3: Normalized OS execution time under different levels of support", Figure3},
+		{"figure4", "Figure 4: Normalized OS read misses under coherence optimizations", Figure4},
+		{"figure5", "Figure 5: Normalized OS read misses with hot-spot prefetching", Figure5},
+		{"figure6", "Figure 6: Normalized OS execution time vs primary cache size", Figure6},
+		{"figure7", "Figure 7: Normalized OS execution time vs primary cache line size", Figure7},
+		{"update-traffic", "Section 5.2: bus traffic of selective update vs invalidate and pure update", UpdateTraffic},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}

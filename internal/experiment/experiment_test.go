@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/workload"
+)
+
+// testRunner uses a tiny scale so the whole evaluation regenerates in
+// seconds.
+func testRunner() *Runner {
+	return NewRunner(Config{Scale: 5, Seed: 1, Parallel: false})
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := testRunner()
+	a, err := r.Outcome(workload.Shell, core.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Outcome(workload.Shell, core.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Outcome not memoized")
+	}
+	// Variant runs are distinct cache entries.
+	c, err := r.OutcomeDeferred(workload.Shell, core.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("deferred outcome shares cache entry with plain run")
+	}
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("All() = %d experiments, want 13", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Render == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("table3")
+	if err != nil || e.ID != "table3" {
+		t.Errorf("Find(table3) = %v, %v", e.ID, err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find accepted junk")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	r := testRunner()
+	for _, tc := range []struct {
+		name   string
+		render func(*Runner) (string, error)
+		want   []string
+	}{
+		{"Table1", Table1, []string{"User Time", "OS Time", "Miss Rate", "TRFD_4", "Shell"}},
+		{"Table2", Table2, []string{"Block Op.", "Coherence", "Other"}},
+		{"Table3", Table3, []string{"Src lines already cached", "Inside reuses"}},
+		{"Table4", Table4, []string{"Small Block Copies", "Read-Only", "Deferred"}},
+		{"Table5", Table5, []string{"Barriers", "Locks", "Freq. Shared"}},
+	} {
+		out, err := tc.render(r)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", tc.name, w, out)
+			}
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	r := testRunner()
+	for _, tc := range []struct {
+		name   string
+		render func(*Runner) (string, error)
+		want   []string
+	}{
+		{"Figure1", Figure1, []string{"Read Stall", "Write Stall", "Instr. Exec."}},
+		{"Figure2", Figure2, []string{"Blk_Bypass", "Blk_Dma", "block="}},
+		{"Figure3", Figure3, []string{"BCPref", "Aggregate", "paper"}},
+		{"Figure4", Figure4, []string{"BCoh_RelUp", "coh="}},
+		{"Figure5", Figure5, []string{"hotspot=", "BCPref"}},
+		{"UpdateTraffic", UpdateTraffic, []string{"traffic vs invalidate", "pure update"}},
+	} {
+		out, err := tc.render(r)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", tc.name, w, out)
+			}
+		}
+	}
+}
+
+func TestSweepFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	r := testRunner()
+	for _, tc := range []struct {
+		name   string
+		render func(*Runner) (string, error)
+		want   string
+	}{
+		{"Figure6", Figure6, "16KB"},
+		{"Figure7", Figure7, "64B"},
+	} {
+		out, err := tc.render(r)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s output missing %q", tc.name, tc.want)
+		}
+	}
+}
+
+func TestPaperValuesComplete(t *testing.T) {
+	for key, rows := range map[string]map[string][4]float64{
+		"table1": PaperTable1, "table2": PaperTable2, "table3": PaperTable3,
+		"table4": PaperTable4, "table5": PaperTable5,
+	} {
+		for row, vals := range rows {
+			for i, v := range vals {
+				if v < 0 || v > 100 {
+					t.Errorf("%s row %q col %d = %v out of range", key, row, i, v)
+				}
+			}
+		}
+	}
+	// Table rows that are percentages of the same whole must sum to
+	// ~100 per workload.
+	for i := 0; i < 4; i++ {
+		sum := PaperTable2["block"][i] + PaperTable2["coherence"][i] + PaperTable2["other"][i]
+		if sum < 99 || sum > 101 {
+			t.Errorf("PaperTable2 col %d sums to %v", i, sum)
+		}
+		sum = 0.0
+		for _, row := range []string{"barriers", "infreq", "freq", "locks", "other"} {
+			sum += PaperTable5[row][i]
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("PaperTable5 col %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestPaperColOrder(t *testing.T) {
+	for i, w := range workload.Names() {
+		if paperCol(w) != i {
+			t.Errorf("paperCol(%q) = %d, want %d", w, paperCol(w), i)
+		}
+	}
+}

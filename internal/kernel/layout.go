@@ -1,0 +1,349 @@
+// Package kernel is the synthetic multiprocessor UNIX kernel whose
+// memory behaviour the study measures. It stands in for Concentrix 3.0
+// on the Alliant FX/8 (see DESIGN.md for the substitution argument):
+// a symmetric, multithreaded kernel in which all processors share all
+// operating-system data structures.
+//
+// The package lays out the kernel address space (process table, page
+// tables, vmmeter event counters, run queue, callout table, system-call
+// dispatch table, buffer cache, locks, barriers) and provides the
+// kernel routines — fork, exec, page-fault handling, read/write system
+// calls, scheduling, cross-processor interrupts, timer ticks, gang
+// barriers — as emitters of annotated reference streams. The
+// software-side optimizations of the paper (block-operation prefetching
+// and DMA dispatch, data privatization and relocation, deferred copy,
+// hot-spot prefetching) are implemented here, because in the paper they
+// are kernel-code and kernel-layout changes.
+package kernel
+
+import "oscachesim/internal/memory"
+
+// Address-space map of the simulated machine. Everything is physical:
+// the traced kernel runs unmapped, as on the original hardware.
+const (
+	// TextBase is the kernel code segment.
+	TextBase uint64 = 0x0010_0000
+	TextSize uint64 = 0x0010_0000 // 1 MB of kernel text
+
+	// CounterBase holds the vmmeter-style event counters.
+	CounterBase uint64 = 0x0020_0000
+	// The selective-update variable set (384 bytes total, Section
+	// 5.2) lives in three dedicated pages so studies can enable the
+	// update protocol for any subset: the barrier words (48 bytes),
+	// the ten hottest locks, and 176 bytes of frequently-shared
+	// producer-consumer variables. The paper allocates them in one or
+	// two pages; separate pages here change nothing for BCoh_RelUp
+	// (which updates all three) and enable the granularity ablation.
+	UpdateBarriersBase uint64 = 0x0020_1000
+	UpdateLocksBase    uint64 = 0x0021_1000
+	UpdateFreqBase     uint64 = 0x0022_1000
+	// ColdLocksBase holds the remaining (cold) kernel locks.
+	ColdLocksBase uint64 = 0x0020_2000
+	// RunQueueBase is scheduler state.
+	RunQueueBase uint64 = 0x0020_3000
+	// CalloutBase is the callout/high-resolution-timer area.
+	CalloutBase uint64 = 0x0020_4000
+	// SysentBase is the system-call dispatch table.
+	SysentBase uint64 = 0x0020_5000
+	// StaticsBase is miscellaneous kernel statics, including the
+	// false-sharing pairs the relocation optimization splits.
+	StaticsBase uint64 = 0x0020_6000
+	// KStackBase holds the per-processor kernel stacks; most kernel
+	// data references hit these hot lines.
+	KStackBase uint64 = 0x0029_4800
+
+	// ProcTableBase is the process table: NProcs entries of
+	// ProcEntrySize bytes.
+	ProcTableBase uint64 = 0x0030_0000
+	NProcs               = 256
+	ProcEntrySize uint64 = 512
+
+	// PageTableBase holds one 4-KB page-table page per process.
+	PageTableBase uint64 = 0x0040_0000
+
+	// BufHdrBase is the buffer-cache header array; BufDataBase the
+	// cached file pages.
+	BufHdrBase  uint64 = 0x0050_0000
+	NBufs              = 2048
+	BufHdrSize  uint64 = 64
+	BufDataBase uint64 = 0x0060_0000
+
+	// FreePoolBase is the physical free-page pool user pages and
+	// block-operation targets come from.
+	FreePoolBase uint64 = 0x0100_0000
+	FreePoolSize uint64 = 0x0400_0000 // 64 MB
+
+	// UserTextBase / UserDataBase: per-process user regions, indexed
+	// by process id.
+	UserTextBase uint64 = 0x0800_0000
+	UserDataBase uint64 = 0x1000_0000
+)
+
+// Routine code offsets within the kernel text segment. Each routine
+// occupies a window of text; looping routines re-fetch the same body
+// addresses, mimicking real instruction streams.
+const (
+	codePageFault uint64 = TextBase + 0x00000
+	codeFork      uint64 = TextBase + 0x02000
+	codeExec      uint64 = TextBase + 0x04000
+	codeRead      uint64 = TextBase + 0x06000
+	codeWrite     uint64 = TextBase + 0x08000
+	codeSchedule  uint64 = TextBase + 0x0a000
+	codeInterrupt uint64 = TextBase + 0x0c000
+	codeTimer     uint64 = TextBase + 0x0e000
+	codePager     uint64 = TextBase + 0x10000
+	codeTrap      uint64 = TextBase + 0x12000
+	codeBlockOps  uint64 = TextBase + 0x14000
+	codeBarrier   uint64 = TextBase + 0x16000
+	codeIdle      uint64 = TextBase + 0x18000
+	codeExit      uint64 = TextBase + 0x1a000
+	codeNamei     uint64 = TextBase + 0x1c000
+	codeSockets   uint64 = TextBase + 0x1e000
+)
+
+// Hot-spot identities (Section 6): 5 loops and 7 sequences. These ids
+// tag the references of the corresponding kernel code so the
+// hot-spot prefetching study can find them.
+const (
+	SpotNone uint16 = iota
+	// Loops.
+	SpotPTEInit  // loop initializing page-table entries
+	SpotPTECopy  // loop copying page-table entries
+	SpotPTEScan  // pager loop scanning page-table entries
+	SpotPTEInval // exit loop invalidating page-table entries
+	SpotFreeList // loop walking the free-page list
+	// Sequences.
+	SpotResume      // sequence resuming a process
+	SpotTimerAcct   // timer functions for system accounting
+	SpotTrapSyscall // the trap system-call entry sequence
+	SpotCtxSwitch   // context switching
+	SpotSchedule    // scheduling a process
+	SpotExecSeq     // the exec tail sequence
+	SpotBufLookup   // buffer-cache hash lookup
+	NumSpots
+)
+
+// SpotName returns a short label for a hot-spot id.
+func SpotName(s uint16) string {
+	names := [...]string{
+		"-", "pte-init", "pte-copy", "pte-scan", "pte-inval", "freelist",
+		"resume", "timer-acct", "trap-syscall", "ctx-switch", "schedule",
+		"exec-seq", "buf-lookup",
+	}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+// Counter identities in the vmmeter-style statistics block. The paper
+// singles out v_intr (cross-processor interrupts) as the canonical
+// infrequently-communicated variable.
+const (
+	CtrIntr = iota // cross-processor interrupts (v_intr)
+	CtrSyscall
+	CtrPageFault
+	CtrSwtch
+	CtrForks
+	CtrExecs
+	CtrReads
+	CtrWrites
+	CtrTimer
+	CtrTraps
+	NumCounters
+)
+
+// Lock identities. The first NumHotLocks locks are the "10 most active
+// locks" of the selective-update set; they live in the update page.
+const (
+	LockSched  = iota // job scheduling
+	LockMemory        // physical memory allocation
+	LockTimer         // high-resolution timer
+	LockAcct          // accounting
+	LockRunQ
+	LockProc
+	LockBufCache
+	LockVM
+	LockCallout
+	LockFile
+	NumHotLocks
+)
+
+// Cold locks follow the hot set.
+const (
+	LockInode = NumHotLocks + iota
+	LockTTY
+	LockNet
+	LockSwap
+	NumLocks
+)
+
+// Barrier identities: one gang-scheduling barrier per parallel
+// application slot.
+const NumBarriers = 6
+
+// Layout computes every kernel variable's address under a given
+// data-placement configuration (the privatization/relocation
+// optimizations change placements; everything else is fixed).
+type Layout struct {
+	// Privatized selects per-CPU counter splitting (Section 5.1).
+	Privatized bool
+	// Relocated selects co-location of sequentially-accessed
+	// variables and separation of false-sharing pairs (Section 5.1).
+	Relocated bool
+}
+
+// CounterAddr returns the address of counter ctr as updated by cpu.
+// Without privatization all CPUs share one packed counter array (four
+// bytes per counter, several counters per cache line — the layout that
+// makes them coherence hot spots). With privatization each CPU gets a
+// private sub-counter in its own cache line.
+func (l Layout) CounterAddr(ctr, cpu int) uint64 {
+	if !l.Privatized {
+		return CounterBase + uint64(ctr)*4
+	}
+	return CounterBase + uint64(ctr)*256 + uint64(cpu)*64
+}
+
+// CounterReadAddrs returns every address the pager must read to obtain
+// the value of counter ctr: one under the shared layout, one per CPU
+// under privatization.
+func (l Layout) CounterReadAddrs(ctr, numCPUs int) []uint64 {
+	if !l.Privatized {
+		return []uint64{l.CounterAddr(ctr, 0)}
+	}
+	addrs := make([]uint64, numCPUs)
+	for c := range addrs {
+		addrs[c] = l.CounterAddr(ctr, c)
+	}
+	return addrs
+}
+
+// LockAddr returns the address of a lock word. Hot locks live in the
+// update-locks page, each in its own cache line (Section 5.2); cold
+// locks are packed in the cold-lock page.
+func (l Layout) LockAddr(lock int) uint64 {
+	if lock < NumHotLocks {
+		return UpdateLocksBase + uint64(lock)*32
+	}
+	return ColdLocksBase + uint64(lock-NumHotLocks)*8
+}
+
+// BarrierAddr returns the address of a gang barrier word; the barrier
+// set is the first 48 bytes of the update-barriers page.
+func (l Layout) BarrierAddr(b int) uint64 {
+	return UpdateBarriersBase + uint64(b)*8
+}
+
+// FreqSharedAddr returns the address of one of the frequently-shared
+// producer-consumer variables (freelist.size, cpievents, ...); they
+// occupy 176 bytes of the update-freq page.
+func (l Layout) FreqSharedAddr(i int) uint64 {
+	return UpdateFreqBase + uint64(i)*16
+}
+
+// CPIEventAddr returns the cpievents entry for a target processor.
+func (l Layout) CPIEventAddr(cpu int) uint64 { return l.FreqSharedAddr(4 + cpu) }
+
+// FreeListSizeAddr is the freelist.size frequently-shared variable.
+func (l Layout) FreeListSizeAddr() uint64 { return l.FreqSharedAddr(0) }
+
+// TimerFieldAddr returns the i'th field of the high-resolution timer
+// structure. Unrelocated, the fields accessed in sequence sit in
+// different cache lines; relocation packs them into one line so a
+// single fill fetches them all.
+func (l Layout) TimerFieldAddr(i int) uint64 {
+	if l.Relocated {
+		return CalloutBase + uint64(i)*4
+	}
+	return CalloutBase + uint64(i)*64
+}
+
+// NumTimerFields is how many timer fields the accounting sequence
+// touches.
+const NumTimerFields = 4
+
+// FalseShareAddr returns the address of per-CPU scratch statistics
+// that, unrelocated, share cache lines across CPUs (false sharing);
+// relocation gives each CPU its own line.
+func (l Layout) FalseShareAddr(v, cpu int) uint64 {
+	if l.Relocated {
+		return StaticsBase + uint64(v)*256 + uint64(cpu)*64
+	}
+	return StaticsBase + uint64(v)*64 + uint64(cpu)*8
+}
+
+// NumFalseShareVars is how many such variables exist.
+const NumFalseShareVars = 6
+
+// ProcAddr returns the process-table entry of process p.
+func ProcAddr(p int) uint64 { return ProcTableBase + uint64(p%NProcs)*ProcEntrySize }
+
+// PageTableAddr returns the page-table page of process p.
+func PageTableAddr(p int) uint64 { return PageTableBase + uint64(p%NProcs)*memory.PageSize }
+
+// PTEAddr returns the i'th page-table entry of process p (4 bytes per
+// entry).
+func PTEAddr(p, i int) uint64 { return PageTableAddr(p) + uint64(i%1024)*4 }
+
+// BufHdrAddr returns the i'th buffer-cache header.
+func BufHdrAddr(i int) uint64 { return BufHdrBase + uint64(i%NBufs)*BufHdrSize }
+
+// BufDataAddr returns the data page of the i'th buffer.
+func BufDataAddr(i int) uint64 { return BufDataBase + uint64(i%NBufs)*memory.PageSize }
+
+// KStackAddr returns an address within a processor's kernel stack.
+func KStackAddr(cpu int, off uint64) uint64 {
+	return KStackBase + uint64(cpu)*0x1000 + off%1024
+}
+
+// RunQueueSlot returns the i'th run-queue slot.
+func RunQueueSlot(i int) uint64 { return RunQueueBase + uint64(i%64)*16 }
+
+// SysentAddr returns the dispatch-table entry for a system call
+// number.
+func SysentAddr(n int) uint64 { return SysentBase + uint64(n%256)*8 }
+
+// UserText returns the text base of user process p. The stride is
+// deliberately not a multiple of the instruction-cache size, the way
+// physical page coloring spreads distinct processes across cache sets.
+func UserText(p int) uint64 { return UserTextBase + uint64(p%NProcs)*0x10400 }
+
+// UserData returns the data base of user process p, page-colored like
+// UserText so resident processes tile rather than alias the data
+// caches.
+func UserData(p int) uint64 { return UserDataBase + uint64(p%NProcs)*0x4B000 }
+
+// AddressMap returns a named-region map of the whole simulated address
+// space, used by the Section 6 conflict analysis to attribute cache
+// evictions to the data structures involved.
+func AddressMap() *memory.Layout {
+	var l memory.Layout
+	l.MustAdd(memory.Region{Name: "kernel-text", Base: TextBase, Size: TextSize})
+	l.MustAdd(memory.Region{Name: "counters", Base: CounterBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "barriers", Base: UpdateBarriersBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "hot-locks", Base: UpdateLocksBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "freq-shared", Base: UpdateFreqBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "cold-locks", Base: ColdLocksBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "runqueue", Base: RunQueueBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "callout", Base: CalloutBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "sysent", Base: SysentBase, Size: 0x1000})
+	l.MustAdd(memory.Region{Name: "statics", Base: StaticsBase, Size: 0x2000})
+	l.MustAdd(memory.Region{Name: "kstack", Base: KStackBase, Size: 0x8000})
+	l.MustAdd(memory.Region{Name: "proc-table", Base: ProcTableBase, Size: uint64(NProcs) * ProcEntrySize})
+	l.MustAdd(memory.Region{Name: "page-tables", Base: PageTableBase, Size: uint64(NProcs) * memory.PageSize})
+	l.MustAdd(memory.Region{Name: "buf-headers", Base: BufHdrBase, Size: uint64(NBufs) * BufHdrSize})
+	l.MustAdd(memory.Region{Name: "buf-data", Base: BufDataBase, Size: uint64(NBufs) * memory.PageSize})
+	l.MustAdd(memory.Region{Name: "free-pages", Base: FreePoolBase, Size: FreePoolSize})
+	l.MustAdd(memory.Region{Name: "user-text", Base: UserTextBase, Size: UserDataBase - UserTextBase})
+	l.MustAdd(memory.Region{Name: "user-data", Base: UserDataBase, Size: 0x1000_0000})
+	return &l
+}
+
+// UpdatePages returns the pages holding the selective-update variable
+// set — barriers, hot locks, frequently-shared variables — in that
+// order. The BCoh_RelUp system marks all of them with the update
+// attribute; the granularity ablation marks subsets.
+func UpdatePages() []uint64 {
+	return []uint64{UpdateBarriersBase, UpdateLocksBase, UpdateFreqBase}
+}

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"testing"
+
+	"oscachesim/internal/memory"
+)
+
+// TestAddressMapConstructs: MustAdd panics on overlap, so successful
+// construction proves the regions are disjoint.
+func TestAddressMapConstructs(t *testing.T) {
+	l := AddressMap()
+	if len(l.Regions()) < 15 {
+		t.Errorf("AddressMap has only %d regions", len(l.Regions()))
+	}
+}
+
+// TestAddressMapNamesKeyStructures checks that the map attributes the
+// addresses the kernel actually emits.
+func TestAddressMapNamesKeyStructures(t *testing.T) {
+	l := AddressMap()
+	lay := Layout{}
+	cases := map[string]uint64{
+		"counters":    lay.CounterAddr(CtrIntr, 0),
+		"barriers":    lay.BarrierAddr(0),
+		"hot-locks":   lay.LockAddr(LockSched),
+		"cold-locks":  lay.LockAddr(LockInode),
+		"freq-shared": lay.FreeListSizeAddr(),
+		"runqueue":    RunQueueSlot(3),
+		"callout":     lay.TimerFieldAddr(1),
+		"sysent":      SysentAddr(5),
+		"kstack":      KStackAddr(2, 128),
+		"proc-table":  ProcAddr(17),
+		"page-tables": PTEAddr(9, 100),
+		"buf-headers": BufHdrAddr(42),
+		"buf-data":    BufDataAddr(42),
+		"free-pages":  FreePoolBase + 12345,
+		"user-text":   UserText(7),
+		"user-data":   UserData(7) + 0x1000,
+		"kernel-text": codeSchedule,
+		"statics":     lay.FalseShareAddr(1, 2),
+	}
+	for want, addr := range cases {
+		if got := l.Name(addr); got != want {
+			t.Errorf("Name(%#x) = %q, want %q", addr, got, want)
+		}
+	}
+}
+
+// TestPrivatizedCountersStayInRegion: the privatized counter layout
+// must stay inside the counters region so the conflict census
+// attributes it correctly.
+func TestPrivatizedCountersStayInRegion(t *testing.T) {
+	l := AddressMap()
+	lay := Layout{Privatized: true}
+	for ctr := 0; ctr < NumCounters; ctr++ {
+		for cpu := 0; cpu < 4; cpu++ {
+			addr := lay.CounterAddr(ctr, cpu)
+			if got := l.Name(addr); got != "counters" {
+				t.Fatalf("privatized counter %d/%d at %#x maps to %q", ctr, cpu, addr, got)
+			}
+		}
+	}
+}
+
+// TestUserRegionsDisjointAcrossProcs: the page-colored user regions of
+// the resident process pools must not overlap each other.
+func TestUserRegionsDisjointAcrossProcs(t *testing.T) {
+	for p := 1; p < 32; p++ {
+		if UserData(p)-UserData(p-1) < 0x40000 {
+			t.Fatalf("user data regions of procs %d and %d too close", p-1, p)
+		}
+		if UserText(p) == UserText(p-1) {
+			t.Fatalf("user text regions of procs %d and %d collide", p-1, p)
+		}
+	}
+}
+
+// TestKStackDoesNotAliasHotUserSets: the kernel stacks were placed so
+// that no resident process's hot working set lands on the same
+// primary-cache sets as its own CPU's stack (the calibration bug this
+// guards against produced massive artificial conflict misses).
+func TestKStackDoesNotAliasHotUserSets(t *testing.T) {
+	const l1Size = 32 * 1024
+	for cpu := 0; cpu < 4; cpu++ {
+		stackLo := KStackAddr(cpu, 0) % l1Size
+		stackHi := stackLo + 1024
+		for slot := 0; slot < 4; slot++ {
+			proc := cpu*4 + slot + 1
+			hotLo := UserData(proc) % l1Size
+			hotHi := hotLo + 2048
+			if hotLo < stackHi && stackLo < hotHi {
+				t.Errorf("cpu%d stack [%#x,%#x) aliases proc %d hot set [%#x,%#x) in L1",
+					cpu, stackLo, stackHi, proc, hotLo, hotHi)
+			}
+		}
+	}
+}
+
+// TestUpdatePagesAligned: the update-attribute pages must be
+// page-aligned, since the attribute applies per page.
+func TestUpdatePagesAligned(t *testing.T) {
+	for _, p := range UpdatePages() {
+		if p%memory.PageSize != 0 {
+			t.Errorf("update page %#x not page aligned", p)
+		}
+	}
+}

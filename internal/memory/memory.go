@@ -1,0 +1,230 @@
+// Package memory provides the physical address-space model underneath
+// the simulator: page and line arithmetic, a deterministic page
+// allocator, a named-region layout of the kernel and user address
+// space, and the per-page attribute table that carries the two
+// software-visible bits the paper's optimizations rely on — the
+// update/invalidate protocol-selection bit (Section 5.2, modeled after
+// the MIPS R4000 per-page coherence attribute) and the read-only bit
+// that implements copy-on-write / deferred copy (Section 4.2.1).
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the virtual-memory page size of the simulated machine.
+// The paper's blocks top out at one 4-Kbyte page.
+const PageSize = 4096
+
+// WordSize is the machine word in bytes; the L1-to-L2 write buffer of
+// the simulated machine is one word wide.
+const WordSize = 4
+
+// PageOf returns the page-aligned base address containing addr.
+func PageOf(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// LineOf returns the base address of the cache line of size lineSize
+// (a power of two) containing addr.
+func LineOf(addr uint64, lineSize uint64) uint64 { return addr &^ (lineSize - 1) }
+
+// PagesIn returns how many pages the byte range [addr, addr+size)
+// touches.
+func PagesIn(addr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := PageOf(addr)
+	last := PageOf(addr + size - 1)
+	return int((last-first)/PageSize) + 1
+}
+
+// LinesIn returns how many lines of size lineSize the byte range
+// [addr, addr+size) touches.
+func LinesIn(addr, size, lineSize uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := LineOf(addr, lineSize)
+	last := LineOf(addr+size-1, lineSize)
+	return int((last-first)/lineSize) + 1
+}
+
+// Region is a named contiguous chunk of the physical address space.
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Layout is an ordered, non-overlapping set of regions. It doubles as
+// the reverse map from address to region name used by tracedump and by
+// miss-classification diagnostics.
+type Layout struct {
+	regions []Region
+}
+
+// Add appends a region. It returns an error if the region overlaps an
+// existing one or has zero size.
+func (l *Layout) Add(r Region) error {
+	if r.Size == 0 {
+		return fmt.Errorf("memory: region %q has zero size", r.Name)
+	}
+	for _, e := range l.regions {
+		if r.Base < e.End() && e.Base < r.End() {
+			return fmt.Errorf("memory: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				r.Name, r.Base, r.End(), e.Name, e.Base, e.End())
+		}
+	}
+	l.regions = append(l.regions, r)
+	sort.Slice(l.regions, func(i, j int) bool { return l.regions[i].Base < l.regions[j].Base })
+	return nil
+}
+
+// MustAdd is Add for statically-known layouts; it panics on error.
+func (l *Layout) MustAdd(r Region) {
+	if err := l.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Find returns the region containing addr, if any.
+func (l *Layout) Find(addr uint64) (Region, bool) {
+	i := sort.Search(len(l.regions), func(i int) bool { return l.regions[i].End() > addr })
+	if i < len(l.regions) && l.regions[i].Contains(addr) {
+		return l.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Name returns the name of the region containing addr, or "?" when the
+// address is unmapped.
+func (l *Layout) Name(addr uint64) string {
+	if r, ok := l.Find(addr); ok {
+		return r.Name
+	}
+	return "?"
+}
+
+// Regions returns the regions in ascending base order. The returned
+// slice must not be modified.
+func (l *Layout) Regions() []Region { return l.regions }
+
+// PageAllocator hands out physical pages from a region
+// deterministically: freed pages are reused LIFO (matching the hot
+// free-list behaviour of a real kernel, where a just-freed page is the
+// next one allocated), and fresh pages are carved sequentially.
+type PageAllocator struct {
+	region Region
+	next   uint64
+	free   []uint64
+}
+
+// NewPageAllocator returns an allocator over region, which must be
+// page-aligned and a multiple of PageSize long.
+func NewPageAllocator(region Region) (*PageAllocator, error) {
+	if region.Base%PageSize != 0 || region.Size%PageSize != 0 {
+		return nil, fmt.Errorf("memory: region %q not page aligned", region.Name)
+	}
+	return &PageAllocator{region: region, next: region.Base}, nil
+}
+
+// Alloc returns the base address of a free page. It returns an error
+// when the region is exhausted.
+func (a *PageAllocator) Alloc() (uint64, error) {
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free = a.free[:n-1]
+		return p, nil
+	}
+	if a.next >= a.region.End() {
+		return 0, fmt.Errorf("memory: region %q exhausted (%d pages)", a.region.Name, a.region.Size/PageSize)
+	}
+	p := a.next
+	a.next += PageSize
+	return p, nil
+}
+
+// Free returns a page to the allocator. Freeing an address outside the
+// region or not page-aligned is a programming error and panics.
+func (a *PageAllocator) Free(page uint64) {
+	if page%PageSize != 0 || !a.region.Contains(page) {
+		panic(fmt.Sprintf("memory: bad Free(%#x) for region %q", page, a.region.Name))
+	}
+	a.free = append(a.free, page)
+}
+
+// InUse returns the number of pages currently allocated.
+func (a *PageAllocator) InUse() int {
+	return int((a.next-a.region.Base)/PageSize) - len(a.free)
+}
+
+// PageAttr carries the software-visible per-page bits used by the
+// optimizations.
+type PageAttr struct {
+	// Update selects the Firefly update protocol for the page instead
+	// of the default Illinois invalidate protocol (Section 5.2).
+	Update bool
+	// ReadOnly marks a copy-on-write page: the first write traps and
+	// performs the deferred copy (Section 4.2.1).
+	ReadOnly bool
+}
+
+// AttrTable maps pages to attributes. The zero value is ready to use
+// and answers the default attribute (invalidate protocol, writable)
+// for every page.
+type AttrTable struct {
+	pages map[uint64]PageAttr
+	def   PageAttr
+}
+
+// NewAttrTable returns an empty attribute table.
+func NewAttrTable() *AttrTable { return &AttrTable{pages: make(map[uint64]PageAttr)} }
+
+// SetDefault changes the attribute returned for pages with no explicit
+// entry; the pure-update-protocol experiment of Section 5.2 sets
+// Update as the machine-wide default.
+func (t *AttrTable) SetDefault(attr PageAttr) { t.def = attr }
+
+// Set records the attributes for the page containing addr.
+func (t *AttrTable) Set(addr uint64, attr PageAttr) {
+	if t.pages == nil {
+		t.pages = make(map[uint64]PageAttr)
+	}
+	if attr == (PageAttr{}) {
+		delete(t.pages, PageOf(addr))
+		return
+	}
+	t.pages[PageOf(addr)] = attr
+}
+
+// Get returns the attributes of the page containing addr.
+func (t *AttrTable) Get(addr uint64) PageAttr {
+	if t.pages == nil {
+		return t.def
+	}
+	if a, ok := t.pages[PageOf(addr)]; ok {
+		return a
+	}
+	return t.def
+}
+
+// UpdatePages returns how many pages currently select the update
+// protocol.
+func (t *AttrTable) UpdatePages() int {
+	n := 0
+	for _, a := range t.pages {
+		if a.Update {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageOf(t *testing.T) {
+	cases := []struct{ addr, want uint64 }{
+		{0, 0}, {1, 0}, {4095, 0}, {4096, 4096}, {0x12345, 0x12000},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.want {
+			t.Errorf("PageOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if got := LineOf(0x1239, 16); got != 0x1230 {
+		t.Errorf("LineOf(0x1239, 16) = %#x", got)
+	}
+	if got := LineOf(0x1239, 32); got != 0x1220 {
+		t.Errorf("LineOf(0x1239, 32) = %#x", got)
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	cases := []struct {
+		addr, size uint64
+		want       int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4096, 1},
+		{0, 4097, 2},
+		{4095, 2, 2},
+		{4096, 8192, 2},
+	}
+	for _, c := range cases {
+		if got := PagesIn(c.addr, c.size); got != c.want {
+			t.Errorf("PagesIn(%#x, %d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLinesIn(t *testing.T) {
+	if got := LinesIn(0, 64, 16); got != 4 {
+		t.Errorf("LinesIn(0,64,16) = %d, want 4", got)
+	}
+	if got := LinesIn(8, 64, 16); got != 5 {
+		t.Errorf("LinesIn(8,64,16) = %d, want 5", got)
+	}
+	if got := LinesIn(0, 0, 16); got != 0 {
+		t.Errorf("LinesIn(0,0,16) = %d, want 0", got)
+	}
+}
+
+// Property: every address inside [addr, addr+size) maps to one of the
+// PagesIn counted pages.
+func TestPagesInCoversRange(t *testing.T) {
+	f := func(addr uint32, size uint16) bool {
+		a, s := uint64(addr), uint64(size)
+		n := PagesIn(a, s)
+		if s == 0 {
+			return n == 0
+		}
+		firstPage := PageOf(a)
+		lastPage := PageOf(a + s - 1)
+		return uint64(n) == (lastPage-firstPage)/PageSize+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayout(t *testing.T) {
+	var l Layout
+	l.MustAdd(Region{Name: "text", Base: 0x1000, Size: 0x1000})
+	l.MustAdd(Region{Name: "data", Base: 0x4000, Size: 0x2000})
+	if err := l.Add(Region{Name: "bad", Base: 0x4800, Size: 0x100}); err == nil {
+		t.Error("overlapping Add succeeded")
+	}
+	if err := l.Add(Region{Name: "empty", Base: 0x9000, Size: 0}); err == nil {
+		t.Error("zero-size Add succeeded")
+	}
+	if name := l.Name(0x1500); name != "text" {
+		t.Errorf("Name(0x1500) = %q", name)
+	}
+	if name := l.Name(0x4000); name != "data" {
+		t.Errorf("Name(0x4000) = %q", name)
+	}
+	if name := l.Name(0x3000); name != "?" {
+		t.Errorf("Name(0x3000) = %q", name)
+	}
+	if _, ok := l.Find(0x5fff); !ok {
+		t.Error("Find(0x5fff) missed data region")
+	}
+	if _, ok := l.Find(0x6000); ok {
+		t.Error("Find(0x6000) found a region past the end")
+	}
+	if got := len(l.Regions()); got != 2 {
+		t.Errorf("Regions() len = %d, want 2", got)
+	}
+}
+
+func TestLayoutMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd of overlapping region did not panic")
+		}
+	}()
+	var l Layout
+	l.MustAdd(Region{Name: "a", Base: 0, Size: 0x1000})
+	l.MustAdd(Region{Name: "b", Base: 0x800, Size: 0x1000})
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Name: "r", Base: 0x1000, Size: 0x1000}
+	if !r.Contains(0x1000) || !r.Contains(0x1fff) {
+		t.Error("Contains should include both ends of [base, end)")
+	}
+	if r.Contains(0xfff) || r.Contains(0x2000) {
+		t.Error("Contains should exclude addresses outside the region")
+	}
+	if r.End() != 0x2000 {
+		t.Errorf("End() = %#x", r.End())
+	}
+}
+
+func TestPageAllocator(t *testing.T) {
+	a, err := NewPageAllocator(Region{Name: "pool", Base: 0x10000, Size: 3 * PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.Alloc()
+	if err != nil || p1 != 0x10000 {
+		t.Fatalf("first Alloc = %#x, %v", p1, err)
+	}
+	p2, _ := a.Alloc()
+	p3, _ := a.Alloc()
+	if p2 != 0x11000 || p3 != 0x12000 {
+		t.Fatalf("sequential allocs = %#x, %#x", p2, p3)
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Error("Alloc from exhausted region succeeded")
+	}
+	a.Free(p2)
+	got, err := a.Alloc()
+	if err != nil || got != p2 {
+		t.Errorf("LIFO reuse: Alloc = %#x, %v; want %#x", got, err, p2)
+	}
+	if a.InUse() != 3 {
+		t.Errorf("InUse = %d, want 3", a.InUse())
+	}
+}
+
+func TestPageAllocatorErrors(t *testing.T) {
+	if _, err := NewPageAllocator(Region{Name: "x", Base: 100, Size: PageSize}); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := NewPageAllocator(Region{Name: "x", Base: 0, Size: 100}); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	a, _ := NewPageAllocator(Region{Name: "x", Base: 0x1000, Size: PageSize})
+	defer func() {
+		if recover() == nil {
+			t.Error("Free outside region did not panic")
+		}
+	}()
+	a.Free(0x999000)
+}
+
+func TestAttrTable(t *testing.T) {
+	tab := NewAttrTable()
+	if got := tab.Get(0x5000); got != (PageAttr{}) {
+		t.Errorf("default attr = %+v", got)
+	}
+	tab.Set(0x5123, PageAttr{Update: true})
+	if !tab.Get(0x5fff).Update {
+		t.Error("attr not visible across the whole page")
+	}
+	if tab.Get(0x6000).Update {
+		t.Error("attr leaked to the next page")
+	}
+	if tab.UpdatePages() != 1 {
+		t.Errorf("UpdatePages = %d", tab.UpdatePages())
+	}
+	tab.Set(0x5123, PageAttr{})
+	if tab.UpdatePages() != 0 {
+		t.Errorf("UpdatePages after clear = %d", tab.UpdatePages())
+	}
+	// Zero-value table is usable for reads and writes.
+	var zero AttrTable
+	if zero.Get(0) != (PageAttr{}) {
+		t.Error("zero-value Get broken")
+	}
+	zero.Set(0x1000, PageAttr{ReadOnly: true})
+	if !zero.Get(0x1000).ReadOnly {
+		t.Error("zero-value Set broken")
+	}
+}
+
+func TestAttrTableDefault(t *testing.T) {
+	tab := NewAttrTable()
+	tab.SetDefault(PageAttr{Update: true})
+	if !tab.Get(0x123456).Update {
+		t.Error("default attr not returned for unmapped page")
+	}
+	// An explicit entry overrides the default.
+	tab.Set(0x5000, PageAttr{ReadOnly: true})
+	got := tab.Get(0x5000)
+	if got.Update || !got.ReadOnly {
+		t.Errorf("explicit entry = %+v, want ReadOnly only", got)
+	}
+	// The zero-value table also honors SetDefault.
+	var zero AttrTable
+	zero.SetDefault(PageAttr{Update: true})
+	if !zero.Get(0).Update {
+		t.Error("zero-value table default broken")
+	}
+}

@@ -1,0 +1,127 @@
+// Package report renders the study's normalized stacked-bar figures as
+// text, in the visual layout of the paper's charts: one horizontal bar
+// per system, segments for the miss or time categories, and the
+// numeric total (plus the paper's bar value) as an annotation.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// fills are the per-segment fill characters, assigned in segment order.
+var fills = []byte{'#', '=', '-', ':', '.', '+', '~', '%'}
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	// Label names the component ("block", "coh", "exec"...).
+	Label string
+	// Value is the component's magnitude in chart units.
+	Value float64
+}
+
+// Bar is one labeled stacked bar.
+type Bar struct {
+	// Name labels the bar ("Base", "Blk_Dma"...).
+	Name string
+	// Segments stack left to right.
+	Segments []Segment
+	// Annotation prints after the bar ("total=0.49 paper=0.45").
+	Annotation string
+}
+
+// Total sums the segment values.
+func (b Bar) Total() float64 {
+	t := 0.0
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// Chart is a group of bars on a shared scale.
+type Chart struct {
+	// Title prints above the bars.
+	Title string
+	// Width is the column budget for the longest bar (default 40).
+	Width int
+	// Bars render top to bottom.
+	Bars []Bar
+}
+
+// Add appends a bar.
+func (c *Chart) Add(b Bar) { c.Bars = append(c.Bars, b) }
+
+// String renders the chart with a legend.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxTotal := 0.0
+	nameW := 0
+	legend := []string{}
+	seen := map[string]byte{}
+	for _, b := range c.Bars {
+		if t := b.Total(); t > maxTotal {
+			maxTotal = t
+		}
+		if len(b.Name) > nameW {
+			nameW = len(b.Name)
+		}
+		for _, s := range b.Segments {
+			if _, ok := seen[s.Label]; !ok && s.Label != "" {
+				fill := fills[len(seen)%len(fills)]
+				seen[s.Label] = fill
+				legend = append(legend, fmt.Sprintf("%c %s", fill, s.Label))
+			}
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	var out strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&out, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		fmt.Fprintf(&out, "  %-*s |", nameW, b.Name)
+		drawn := 0
+		want := 0.0
+		for _, s := range b.Segments {
+			want += s.Value
+			// Cumulative rounding keeps the bar length proportional
+			// to the running total, not the sum of rounded pieces.
+			target := int(math.Round(want / maxTotal * float64(width)))
+			n := target - drawn
+			if n < 0 {
+				n = 0
+			}
+			out.Write(bytesRepeat(seen[s.Label], n))
+			drawn += n
+		}
+		out.Write(bytesRepeat(' ', width-drawn))
+		if b.Annotation != "" {
+			fmt.Fprintf(&out, "| %s", b.Annotation)
+		} else {
+			out.WriteString("|")
+		}
+		out.WriteByte('\n')
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&out, "  %-*s  [%s]\n", nameW, "", strings.Join(legend, "  "))
+	}
+	return out.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoChart() *Chart {
+	c := &Chart{Title: "demo", Width: 20}
+	c.Add(Bar{Name: "Base", Segments: []Segment{{"block", 0.5}, {"other", 0.5}}, Annotation: "total=1.00"})
+	c.Add(Bar{Name: "Blk_Dma", Segments: []Segment{{"block", 0.0}, {"other", 0.45}}, Annotation: "total=0.45"})
+	return c
+}
+
+func TestChartRendersAllParts(t *testing.T) {
+	out := demoChart().String()
+	for _, want := range []string{"demo", "Base", "Blk_Dma", "total=1.00", "# block", "= other"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, 2 bars, legend
+		t.Errorf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartBarLengthsProportional(t *testing.T) {
+	out := demoChart().String()
+	inner := func(line string) string {
+		return line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	}
+	baseLine := inner(strings.Split(out, "\n")[1])
+	dmaLine := inner(strings.Split(out, "\n")[2])
+	baseFill := strings.Count(baseLine, "#") + strings.Count(baseLine, "=")
+	dmaFill := strings.Count(dmaLine, "#") + strings.Count(dmaLine, "=")
+	if baseFill != 20 {
+		t.Errorf("Base bar %d columns, want full width 20", baseFill)
+	}
+	if dmaFill < 8 || dmaFill > 10 {
+		t.Errorf("Blk_Dma bar %d columns, want ~9 (0.45 of 20)", dmaFill)
+	}
+}
+
+func TestChartEmptyAndZero(t *testing.T) {
+	c := &Chart{}
+	if out := c.String(); out != "" && strings.TrimSpace(out) != "" {
+		t.Errorf("empty chart rendered %q", out)
+	}
+	c.Add(Bar{Name: "zero", Segments: []Segment{{"x", 0}}})
+	out := c.String()
+	if !strings.Contains(out, "zero") {
+		t.Errorf("zero bar missing:\n%s", out)
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{Segments: []Segment{{"a", 1.5}, {"b", 0.5}}}
+	if b.Total() != 2.0 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+// Property: every bar's drawn width is within one column of its
+// proportional share, and never exceeds the chart width.
+func TestChartWidthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := &Chart{Width: 30}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			var segs []Segment
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				segs = append(segs, Segment{Label: string(rune('a' + j)), Value: rng.Float64()})
+			}
+			c.Add(Bar{Name: "bar", Segments: segs})
+		}
+		maxTotal := 0.0
+		for _, b := range c.Bars {
+			if b.Total() > maxTotal {
+				maxTotal = b.Total()
+			}
+		}
+		out := c.String()
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		for i, b := range c.Bars {
+			line := lines[i]
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) != 30 {
+				return false
+			}
+			filled := 30 - strings.Count(inner, " ")
+			wantF := b.Total() / maxTotal * 30
+			if float64(filled) < wantF-1.5 || float64(filled) > wantF+1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

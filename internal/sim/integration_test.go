@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oscachesim/internal/cache"
+	"oscachesim/internal/coherence"
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/trace"
+	"oscachesim/internal/workload"
+)
+
+// runWorkload simulates a small build of the given workload on the
+// default machine.
+func runWorkload(t *testing.T, name workload.Name, opt kernel.OptConfig, p Params) *Result {
+	t.Helper()
+	b := workload.Build(name, opt, 4, 11)
+	s, err := New(p, b.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIntegrationAccountingInvariants checks the global accounting
+// identities on every workload:
+//
+//   - the cycle total equals the per-mode component sum per CPU;
+//   - read misses never exceed reads;
+//   - the Table 2 classes partition the OS read misses;
+//   - the Table 5 classes partition the OS coherence misses.
+func TestIntegrationAccountingInvariants(t *testing.T) {
+	for _, name := range workload.Names() {
+		res := runWorkload(t, name, kernel.OptConfig{}, DefaultParams())
+		c := res.Counters
+
+		if c.TotalDReadMisses() > c.TotalDReads() {
+			t.Errorf("%s: misses (%d) exceed reads (%d)", name, c.TotalDReadMisses(), c.TotalDReads())
+		}
+		var osClassSum uint64
+		for _, v := range c.OSMissBy {
+			osClassSum += v
+		}
+		if osClassSum != c.OSDReadMisses() {
+			t.Errorf("%s: miss classes sum to %d, OS misses %d", name, osClassSum, c.OSDReadMisses())
+		}
+		var cohSum uint64
+		for _, v := range c.OSCohBy {
+			cohSum += v
+		}
+		if cohSum != c.OSMissBy[1] { // stats.MissCoherence
+			t.Errorf("%s: coherence classes sum to %d, coherence misses %d", name, cohSum, c.OSMissBy[1])
+		}
+		if c.Cycles == 0 || c.TotalTime() == 0 {
+			t.Errorf("%s: empty timing", name)
+		}
+		// Each CPU's final clock is bounded by the global cycle count.
+		for i, ct := range res.CPUTime {
+			if ct > c.Cycles {
+				t.Errorf("%s: cpu%d time %d exceeds global %d", name, i, ct, c.Cycles)
+			}
+		}
+	}
+}
+
+// TestIntegrationDeterminism re-runs a workload and compares every
+// counter.
+func TestIntegrationDeterminism(t *testing.T) {
+	a := runWorkload(t, workload.TRFDMake, kernel.OptConfig{}, DefaultParams())
+	b := runWorkload(t, workload.TRFDMake, kernel.OptConfig{}, DefaultParams())
+	if a.Counters != b.Counters {
+		t.Error("two identical runs produced different counters")
+	}
+	if a.Refs != b.Refs {
+		t.Errorf("refs differ: %d vs %d", a.Refs, b.Refs)
+	}
+}
+
+// TestIntegrationInclusion verifies multilevel inclusion after a full
+// workload: every valid L1D line is present in the same CPU's L2 (the
+// simulator invalidates L1 lines when their L2 line is evicted).
+func TestIntegrationInclusion(t *testing.T) {
+	b := workload.Build(workload.Shell, kernel.OptConfig{}, 3, 2)
+	s, err := New(DefaultParams(), b.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range s.cpus {
+		violations := 0
+		c.l1d.ForEachValid(func(l cache.Line) {
+			if !c.l2.State(l.Tag).Valid() {
+				violations++
+			}
+		})
+		if violations > 0 {
+			t.Errorf("cpu%d: %d L1D lines violate inclusion", i, violations)
+		}
+	}
+}
+
+// TestIntegrationCoherenceSingleWriter verifies the fundamental MESI
+// invariant at end of simulation: no line is Modified or Exclusive in
+// more than one secondary cache.
+func TestIntegrationCoherenceSingleWriter(t *testing.T) {
+	b := workload.Build(workload.TRFD4, kernel.OptConfig{}, 4, 5)
+	s, err := New(DefaultParams(), b.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[uint64]int)
+	for _, c := range s.cpus {
+		c.l2.ForEachValid(func(l cache.Line) {
+			if l.State == coherence.Modified || l.State == coherence.Exclusive {
+				owners[l.Tag]++
+			}
+		})
+	}
+	for line, n := range owners {
+		if n > 1 {
+			t.Errorf("line %#x owned (M/E) by %d caches", line, n)
+		}
+	}
+}
+
+// TestIntegrationWriteBuffersDrained: the simulator must drain every
+// write buffer before reporting.
+func TestIntegrationWriteBuffersDrained(t *testing.T) {
+	b := workload.Build(workload.ARC2DFsck, kernel.OptConfig{}, 3, 9)
+	s, err := New(DefaultParams(), b.Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range s.cpus {
+		if c.l1wb.Len() != 0 || c.l2wb.Len() != 0 {
+			t.Errorf("cpu%d buffers not drained: l1wb=%d l2wb=%d", i, c.l1wb.Len(), c.l2wb.Len())
+		}
+	}
+}
+
+// TestIntegrationAllSchemesRun exercises every block scheme end to end
+// on every workload — a crash/deadlock regression net.
+func TestIntegrationAllSchemesRun(t *testing.T) {
+	cases := []struct {
+		scheme BlockScheme
+		opt    kernel.OptConfig
+	}{
+		{BlockCached, kernel.OptConfig{}},
+		{BlockCached, kernel.OptConfig{BlockPrefetch: true}},
+		{BlockBypass, kernel.OptConfig{}},
+		{BlockBypassPref, kernel.OptConfig{BlockPrefetch: true}},
+		{BlockDMA, kernel.OptConfig{BlockDMA: true}},
+		{BlockDMA, kernel.OptConfig{BlockDMA: true, Privatize: true, Relocate: true, HotSpotPrefetch: true}},
+	}
+	for _, name := range workload.Names() {
+		for _, tc := range cases {
+			p := DefaultParams()
+			p.Block = tc.scheme
+			res := runWorkload(t, name, tc.opt, p)
+			if res.Refs == 0 {
+				t.Errorf("%s/%v: empty run", name, tc.scheme)
+			}
+		}
+	}
+}
+
+// TestIntegrationGeometries runs a workload across cache geometries
+// (the Figure 6/7 grids) and checks monotonic-ish behaviour: a larger
+// primary cache never increases the OS miss count.
+func TestIntegrationGeometries(t *testing.T) {
+	var last uint64 = ^uint64(0)
+	for _, kb := range []uint64{16, 32, 64} {
+		p := DefaultParams()
+		p.L1D.Size = kb * 1024
+		res := runWorkload(t, workload.TRFD4, kernel.OptConfig{}, p)
+		m := res.Counters.OSDReadMisses()
+		if m > last {
+			t.Errorf("OS misses grew from %d to %d when L1D grew to %dKB", last, m, kb)
+		}
+		last = m
+	}
+	// Line-size grid just has to run cleanly.
+	for _, ls := range []uint64{16, 32, 64} {
+		p := DefaultParams()
+		p.L1D.LineSize = ls
+		p.L1I.LineSize = ls
+		p.L2.LineSize = 64
+		res := runWorkload(t, workload.Shell, kernel.OptConfig{}, p)
+		if res.Refs == 0 {
+			t.Errorf("line size %d: empty run", ls)
+		}
+	}
+}
+
+// TestRandomTraceNeverPanics drives the simulator with syntactically
+// valid but adversarial random reference streams (no sync, arbitrary
+// addresses, block tags and roles) — a robustness property.
+func TestRandomTraceNeverPanics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perCPU := make([]trace.Source, 4)
+		for c := 0; c < 4; c++ {
+			refs := make([]trace.Ref, 300)
+			for i := range refs {
+				refs[i] = trace.Ref{
+					Addr:  rng.Uint64() % (1 << 28),
+					CPU:   uint8(c),
+					Op:    trace.Op(rng.Intn(4)), // no DMA: Aux/Len would be junk
+					Kind:  trace.Kind(rng.Intn(3)),
+					Class: trace.DataClass(rng.Intn(14)),
+					Block: uint32(rng.Intn(3)),
+					Role:  trace.BlockRole(rng.Intn(3)),
+					Spot:  uint16(rng.Intn(4)),
+				}
+			}
+			perCPU[c] = trace.NewSliceSource(refs)
+		}
+		p := DefaultParams()
+		p.Block = BlockScheme(rng.Intn(4))
+		s, err := New(p, perCPU)
+		if err != nil {
+			return false
+		}
+		_, err = s.Run()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomDMATraces drives the DMA path with random block transfers.
+func TestRandomDMATraces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]trace.Ref, 50)
+		for i := range refs {
+			refs[i] = trace.Ref{
+				Addr:  rng.Uint64() % (1 << 24),
+				Aux:   rng.Uint64() % (1 << 24),
+				Len:   uint32(rng.Intn(8192)),
+				Op:    trace.OpBlockDMA,
+				Kind:  trace.KindOS,
+				Block: uint32(i + 1),
+			}
+		}
+		srcs := []trace.Source{
+			trace.NewSliceSource(refs),
+			trace.NewSliceSource(nil), trace.NewSliceSource(nil), trace.NewSliceSource(nil),
+		}
+		p := DefaultParams()
+		p.Block = BlockDMA
+		s, err := New(p, srcs)
+		if err != nil {
+			return false
+		}
+		_, err = s.Run()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim is the cycle-level simulator of the paper's machine: four
+// 200-MHz processors, each with a 16-KB direct-mapped instruction
+// cache, a 32-KB direct-mapped write-through primary data cache with
+// 16-byte lines, and a 256-KB direct-mapped lockup-free write-back
+// unified secondary cache with 32-byte lines; a 4-deep word-wide write
+// buffer between the primary and secondary caches and an 8-deep
+// 32-byte-wide write buffer between the secondary cache and the bus;
+// reads bypass writes; Illinois cache coherence under release
+// consistency on an 8-byte-wide 40-MHz split-transaction bus. Without
+// contention a processor reads a word in 1, 12 and 51 cycles from the
+// primary cache, secondary cache and memory respectively; all
+// contention, including cache-port and bus access, is simulated
+// (paper Section 2.4).
+//
+// The simulator consumes one trace.Source per processor and re-enforces
+// the synchronization semantics annotated in the trace, so mutual
+// exclusion and barrier ordering survive the timing changes the
+// optimizations introduce.
+package sim
+
+import (
+	"fmt"
+
+	"oscachesim/internal/bus"
+	"oscachesim/internal/cache"
+	"oscachesim/internal/memory"
+)
+
+// BlockScheme selects the hardware handling of block-operation
+// references (Section 4.2). The software sides of the schemes —
+// prefetch instructions, DMA pseudo-references — are chosen by the
+// workload generator; the scheme here must match what the trace
+// contains.
+type BlockScheme uint8
+
+const (
+	// BlockCached is the Base machine: block operations use the
+	// caches like everything else.
+	BlockCached BlockScheme = iota
+	// BlockBypass adds line-wide bypass registers beside each cache
+	// level; block loads and stores bypass the caches unless the line
+	// is already present (Blk_Bypass).
+	BlockBypass
+	// BlockBypassPref is BlockBypass plus an 8-line prefetch buffer
+	// for the source block; destination writes are cached
+	// (Blk_ByPref).
+	BlockBypassPref
+	// BlockDMA performs block operations with the smart
+	// secondary-cache controller: the trace carries one OpBlockDMA
+	// pseudo-reference per operation and the processor stalls while
+	// the bus pipelines the transfer (Blk_Dma).
+	BlockDMA
+)
+
+// String names the scheme.
+func (s BlockScheme) String() string {
+	names := [...]string{"cached", "bypass", "bypass+pref", "dma"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("BlockScheme(%d)", uint8(s))
+}
+
+// Params configures the simulated machine.
+type Params struct {
+	// NumCPUs is the processor count (4 in the paper).
+	NumCPUs int
+	// L1I, L1D, L2 are the cache geometries.
+	L1I cache.Config
+	L1D cache.Config
+	L2  cache.Config
+	// L1WriteBufDepth is the word-wide L1-to-L2 buffer depth (4).
+	L1WriteBufDepth int
+	// L2WriteBufDepth is the line-wide L2-to-bus buffer depth (8).
+	L2WriteBufDepth int
+	// L1HitCycles, L2HitCycles, MemCycles are the uncontended word-read
+	// latencies (1, 12, 51).
+	L1HitCycles uint64
+	L2HitCycles uint64
+	MemCycles   uint64
+	// C2CCycles is the latency of a cache-to-cache supply.
+	C2CCycles uint64
+	// L2WriteCycles is the secondary-cache port occupancy of retiring
+	// one buffered word write.
+	L2WriteCycles uint64
+	// Bus is the bus geometry.
+	Bus bus.Params
+	// MSHREntries bounds outstanding misses per processor (the
+	// lockup-free secondary cache).
+	MSHREntries int
+	// Block selects the block-operation hardware scheme.
+	Block BlockScheme
+	// PrefBufLines is the Blk_ByPref source prefetch buffer size (8).
+	PrefBufLines int
+	// DMASetupCycles is the fixed start cost of a DMA block transfer
+	// (19 in the paper).
+	DMASetupCycles uint64
+	// DMACyclesPer8B is the pipelined transfer cost per 8 bytes in
+	// CPU cycles (2 bus cycles = 10 in the paper's best case).
+	DMACyclesPer8B uint64
+	// DMASnoopPenalty is the extra bus time per line found in a cache
+	// during a DMA transfer (reads/updates slow the transfer down).
+	DMASnoopPenalty uint64
+	// Attrs carries the per-page protocol-selection and read-only
+	// bits; nil means all pages default (invalidate protocol).
+	Attrs *memory.AttrTable
+	// SyncGrantCycles is the hand-off latency of a contended lock or
+	// the release of a barrier.
+	SyncGrantCycles uint64
+	// MaxRefs aborts runaway simulations (0 = no limit).
+	MaxRefs uint64
+	// RegionNamer, when set, enables the Section 6 conflict analysis:
+	// every primary-data-cache eviction is attributed to the (evictor
+	// region, victim region) pair it represents. The function maps an
+	// address to a data-structure name.
+	RegionNamer func(uint64) string
+}
+
+// DefaultParams returns the paper's Base machine.
+func DefaultParams() Params {
+	return Params{
+		NumCPUs:         4,
+		L1I:             cache.Config{Name: "L1I", Size: 16 * 1024, LineSize: 16, Assoc: 1},
+		L1D:             cache.Config{Name: "L1D", Size: 32 * 1024, LineSize: 16, Assoc: 1},
+		L2:              cache.Config{Name: "L2", Size: 256 * 1024, LineSize: 32, Assoc: 1},
+		L1WriteBufDepth: 4,
+		L2WriteBufDepth: 8,
+		L1HitCycles:     1,
+		L2HitCycles:     12,
+		MemCycles:       51,
+		C2CCycles:       45,
+		L2WriteCycles:   2,
+		Bus:             bus.DefaultParams(),
+		MSHREntries:     8,
+		Block:           BlockCached,
+		PrefBufLines:    8,
+		DMASetupCycles:  19,
+		DMACyclesPer8B:  10,
+		DMASnoopPenalty: 2,
+		SyncGrantCycles: 8,
+	}
+}
+
+// Validate checks the machine description.
+func (p Params) Validate() error {
+	if p.NumCPUs <= 0 || p.NumCPUs > 64 {
+		return fmt.Errorf("sim: bad CPU count %d", p.NumCPUs)
+	}
+	for _, c := range []cache.Config{p.L1I, p.L1D, p.L2} {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if p.L2.LineSize < p.L1D.LineSize {
+		return fmt.Errorf("sim: L2 line (%d) smaller than L1D line (%d)", p.L2.LineSize, p.L1D.LineSize)
+	}
+	if p.L1WriteBufDepth <= 0 || p.L2WriteBufDepth <= 0 {
+		return fmt.Errorf("sim: non-positive write buffer depth")
+	}
+	if p.L1HitCycles == 0 || p.L2HitCycles == 0 || p.MemCycles == 0 {
+		return fmt.Errorf("sim: zero latency parameter")
+	}
+	if err := p.Bus.Validate(); err != nil {
+		return err
+	}
+	if p.MSHREntries <= 0 {
+		return fmt.Errorf("sim: non-positive MSHR entries")
+	}
+	if p.Block == BlockBypassPref && p.PrefBufLines <= 0 {
+		return fmt.Errorf("sim: bypass+pref needs a prefetch buffer")
+	}
+	return nil
+}

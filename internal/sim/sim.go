@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"oscachesim/internal/bus"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/trace"
+)
+
+// Simulator co-simulates NumCPUs processors over their trace sources.
+// Processors advance in global-time order (the runnable processor with
+// the smallest local clock executes its next reference), which keeps
+// bus arbitration and coherence interactions causally ordered.
+type Simulator struct {
+	p    Params
+	cpus []*cpuState
+	bus  *bus.Bus
+	c    stats.Counters
+
+	locks    map[uint32]*lockState
+	barriers map[uint32]*barrierState
+
+	// conflicts counts L1D evictions by (evictor, victim) region pair
+	// when Params.RegionNamer is set.
+	conflicts map[ConflictPair]uint64
+
+	refs uint64
+}
+
+// ConflictPair names the two data structures involved in a
+// primary-cache eviction.
+type ConflictPair struct {
+	// Evictor is the region whose fill displaced the victim.
+	Evictor string
+	// Victim is the region of the displaced line.
+	Victim string
+}
+
+// lockState re-enforces the mutual exclusion annotated in the trace.
+type lockState struct {
+	held    bool
+	owner   int
+	waiters []waiter
+}
+
+type waiter struct {
+	cpu     int
+	arrived uint64
+	ref     trace.Ref
+}
+
+// barrierState collects arrivals until all participants are present.
+type barrierState struct {
+	need    int
+	arrived []waiter
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Counters is the full measurement record.
+	Counters stats.Counters
+	// CPUTime is each processor's final local clock.
+	CPUTime []uint64
+	// Refs is the number of trace references processed.
+	Refs uint64
+	// Conflicts is the (evictor, victim) eviction census, populated
+	// only when Params.RegionNamer was set.
+	Conflicts map[ConflictPair]uint64
+}
+
+// ErrDeadlock reports that every unfinished processor was blocked on a
+// lock or barrier — a malformed trace.
+var ErrDeadlock = errors.New("sim: deadlock: all unfinished processors blocked")
+
+// New builds a simulator over one source per processor.
+func New(p Params, sources []trace.Source) (*Simulator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != p.NumCPUs {
+		return nil, fmt.Errorf("sim: %d sources for %d CPUs", len(sources), p.NumCPUs)
+	}
+	s := &Simulator{
+		p:        p,
+		bus:      bus.New(p.Bus),
+		locks:    make(map[uint32]*lockState),
+		barriers: make(map[uint32]*barrierState),
+	}
+	if p.RegionNamer != nil {
+		s.conflicts = make(map[ConflictPair]uint64)
+	}
+	for i, src := range sources {
+		s.cpus = append(s.cpus, newCPU(i, p, src))
+	}
+	return s, nil
+}
+
+// Run simulates to trace exhaustion and returns the measurements.
+func (s *Simulator) Run() (*Result, error) {
+	for {
+		c := s.nextRunnable()
+		if c == nil {
+			if s.allDone() {
+				break
+			}
+			return nil, s.deadlockError()
+		}
+		if s.p.MaxRefs != 0 && s.refs >= s.p.MaxRefs {
+			return nil, fmt.Errorf("sim: exceeded MaxRefs=%d", s.p.MaxRefs)
+		}
+		s.step(c)
+	}
+	s.finish()
+	res := &Result{Counters: s.c, Refs: s.refs, Conflicts: s.conflicts}
+	for _, c := range s.cpus {
+		res.CPUTime = append(res.CPUTime, c.time)
+	}
+	return res, nil
+}
+
+// nextRunnable returns the unblocked, unfinished processor with the
+// smallest local clock, or nil.
+func (s *Simulator) nextRunnable() *cpuState {
+	var best *cpuState
+	for _, c := range s.cpus {
+		if c.done || c.blocked {
+			continue
+		}
+		if best == nil || c.time < best.time {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *Simulator) allDone() bool {
+	for _, c := range s.cpus {
+		if !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) deadlockError() error {
+	msg := ErrDeadlock.Error()
+	for id, l := range s.locks {
+		if l.held {
+			msg += fmt.Sprintf("; lock %d held by cpu%d with %d waiters", id, l.owner, len(l.waiters))
+		}
+	}
+	for id, b := range s.barriers {
+		if len(b.arrived) > 0 {
+			msg += fmt.Sprintf("; barrier %d has %d/%d arrivals", id, len(b.arrived), b.need)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// step executes one trace reference on processor c. Before the
+// reference runs, every processor's write buffers drain up to the
+// current global time, so remote stores become visible (and
+// invalidate) on schedule even when their issuer has gone idle.
+func (s *Simulator) step(c *cpuState) {
+	for _, o := range s.cpus {
+		s.advanceDrainsUntil(o, c.time)
+	}
+	r, ok := c.src.Next()
+	if !ok {
+		c.done = true
+		s.finishBlock(c)
+		return
+	}
+	s.refs++
+	c.refs++
+	s.exec(c, r)
+}
+
+// exec dispatches one reference.
+func (s *Simulator) exec(c *cpuState, r trace.Ref) {
+	if r.Block != c.curBlock {
+		s.finishBlock(c)
+		s.startBlock(c, r)
+	}
+	mode := modeOf(r.Kind)
+	switch r.Op {
+	case trace.OpInstr:
+		s.instrFetch(c, r, mode)
+	case trace.OpRead:
+		s.c.DReads[mode]++
+		s.readAccess(c, r, mode)
+	case trace.OpWrite:
+		switch r.Sync {
+		case trace.SyncLockAcquire:
+			s.lockAcquire(c, r, mode)
+			return // the access happens at grant time
+		case trace.SyncLockRelease:
+			s.c.DWrites[mode]++
+			s.writeAccess(c, r, mode)
+			s.lockRelease(c, r)
+		case trace.SyncBarrier:
+			s.c.DWrites[mode]++
+			s.writeAccess(c, r, mode)
+			s.barrierArrive(c, r, mode)
+		default:
+			s.c.DWrites[mode]++
+			s.writeAccess(c, r, mode)
+		}
+	case trace.OpPrefetch:
+		s.prefetchAccess(c, r, mode)
+	case trace.OpBlockDMA:
+		s.dmaAccess(c, r, mode)
+	}
+}
+
+// --- Synchronization -------------------------------------------------
+
+// lockAcquire performs a test&set on the lock word. If the lock is
+// held the processor blocks; the write (and its coherence traffic)
+// happens when the lock is granted.
+func (s *Simulator) lockAcquire(c *cpuState, r trace.Ref, mode int) {
+	l := s.locks[r.SyncID]
+	if l == nil {
+		l = &lockState{}
+		s.locks[r.SyncID] = l
+	}
+	if !l.held {
+		l.held = true
+		l.owner = c.id
+		s.c.DWrites[mode]++
+		s.writeAccess(c, r, mode)
+		return
+	}
+	l.waiters = append(l.waiters, waiter{cpu: c.id, arrived: c.time, ref: r})
+	c.blocked = true
+}
+
+// lockRelease frees the lock or hands it to the first waiter.
+func (s *Simulator) lockRelease(c *cpuState, r trace.Ref) {
+	l := s.locks[r.SyncID]
+	if l == nil || !l.held || l.owner != c.id {
+		// A release without a matching acquire is tolerated (the
+		// trace may start mid-critical-section); treat as a plain
+		// write, which writeAccess already performed.
+		return
+	}
+	if len(l.waiters) == 0 {
+		l.held = false
+		return
+	}
+	w := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.owner = w.cpu
+	wc := s.cpus[w.cpu]
+	grant := max(c.time, w.arrived) + s.p.SyncGrantCycles
+	wmode := modeOf(w.ref.Kind)
+	s.c.Time[wmode].Sync += grant - w.arrived
+	wc.time = grant
+	wc.blocked = false
+	// The successful test&set happens now, with its coherence
+	// traffic (it invalidates the releaser's copy of the lock word,
+	// seeding the next coherence miss on the lock).
+	s.c.DWrites[wmode]++
+	s.writeAccess(wc, w.ref, wmode)
+}
+
+// barrierArrive blocks the processor until all participants arrive.
+func (s *Simulator) barrierArrive(c *cpuState, r trace.Ref, mode int) {
+	need := int(r.Len)
+	if need <= 0 {
+		need = s.p.NumCPUs
+	}
+	b := s.barriers[r.SyncID]
+	if b == nil {
+		b = &barrierState{need: need}
+		s.barriers[r.SyncID] = b
+	}
+	b.arrived = append(b.arrived, waiter{cpu: c.id, arrived: c.time, ref: r})
+	if len(b.arrived) < b.need {
+		c.blocked = true
+		return
+	}
+	// Last arrival releases everyone, including itself.
+	release := c.time + s.p.SyncGrantCycles
+	for _, w := range b.arrived {
+		wc := s.cpus[w.cpu]
+		wmode := modeOf(w.ref.Kind)
+		s.c.Time[wmode].Sync += release - w.arrived
+		wc.time = release
+		wc.blocked = false
+	}
+	delete(s.barriers, r.SyncID)
+}
+
+// finish drains all write buffers so their traffic is accounted for.
+func (s *Simulator) finish() {
+	for _, c := range s.cpus {
+		s.finishBlock(c)
+		for c.l1wb.Len() > 0 || c.l2wb.Len() > 0 {
+			s.forceDrainStep(c)
+		}
+	}
+	var maxTime uint64
+	for _, c := range s.cpus {
+		if c.time > maxTime {
+			maxTime = c.time
+		}
+	}
+	s.c.Cycles = maxTime
+	s.c.Bus = s.bus.Stats()
+}
+
+// Bus returns the shared bus (for inspection in tests).
+func (s *Simulator) Bus() *bus.Bus { return s.bus }

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk trace format is a stream of varint-encoded records behind
+// a fixed header. Addresses are delta-encoded against the previous
+// record of the same CPU, which compresses the strongly sequential
+// instruction streams well. The format is self-describing enough for
+// cmd/tracedump to round-trip and inspect traces.
+
+// magic identifies trace files; the trailing byte is the format version.
+var magic = [8]byte{'o', 's', 'c', 't', 'r', 'c', 0, 1}
+
+// ErrBadMagic reports that a reader's input does not start with a trace
+// file header.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// Writer encodes references to an underlying io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr [256]uint64
+	buf      []byte
+	wrote    bool
+	count    uint64
+}
+
+// NewWriter returns a Writer that emits the file header on the first
+// WriteRef call.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+// flags bit layout inside the record header varint:
+//
+//	bits 0-2  Op
+//	bits 3-4  Kind
+//	bits 5-8  Class
+//	bits 9-10 Role
+//	bits 11-12 Sync
+//	bit 13    has Block
+//	bit 14    has SyncID
+//	bit 15    has Spot
+//	bit 16    has Len
+//	bit 17    has Aux
+const (
+	flagHasBlock  = 1 << 13
+	flagHasSyncID = 1 << 14
+	flagHasSpot   = 1 << 15
+	flagHasLen    = 1 << 16
+	flagHasAux    = 1 << 17
+)
+
+// WriteRef appends one reference to the stream.
+func (w *Writer) WriteRef(r Ref) error {
+	if !w.wrote {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	flags := uint64(r.Op)&7 |
+		uint64(r.Kind)&3<<3 |
+		uint64(r.Class)&15<<5 |
+		uint64(r.Role)&3<<9 |
+		uint64(r.Sync)&3<<11
+	if r.Block != 0 {
+		flags |= flagHasBlock
+	}
+	if r.SyncID != 0 {
+		flags |= flagHasSyncID
+	}
+	if r.Spot != 0 {
+		flags |= flagHasSpot
+	}
+	if r.Len != 0 {
+		flags |= flagHasLen
+	}
+	if r.Aux != 0 {
+		flags |= flagHasAux
+	}
+	b := w.buf[:0]
+	b = append(b, r.CPU)
+	b = binary.AppendUvarint(b, flags)
+	delta := int64(r.Addr) - int64(w.prevAddr[r.CPU])
+	b = binary.AppendVarint(b, delta)
+	w.prevAddr[r.CPU] = r.Addr
+	if r.Block != 0 {
+		b = binary.AppendUvarint(b, uint64(r.Block))
+	}
+	if r.SyncID != 0 {
+		b = binary.AppendUvarint(b, uint64(r.SyncID))
+	}
+	if r.Spot != 0 {
+		b = binary.AppendUvarint(b, uint64(r.Spot))
+	}
+	if r.Len != 0 {
+		b = binary.AppendUvarint(b, uint64(r.Len))
+	}
+	if r.Aux != 0 {
+		b = binary.AppendUvarint(b, r.Aux)
+	}
+	w.buf = b
+	w.count++
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Count returns the number of references written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes buffered data to the underlying writer. Callers must
+// Flush (or Close the underlying file after Flush) before reading the
+// trace back.
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		// An empty trace still gets a header so readers can tell
+		// "empty trace" from "not a trace".
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes references from an underlying io.Reader.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr [256]uint64
+	started  bool
+}
+
+// NewReader returns a Reader over r. The header is validated on the
+// first ReadRef call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ReadRef decodes the next reference. It returns io.EOF cleanly at the
+// end of the stream.
+func (r *Reader) ReadRef() (Ref, error) {
+	if !r.started {
+		var got [8]byte
+		if _, err := io.ReadFull(r.r, got[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Ref{}, ErrBadMagic
+			}
+			return Ref{}, err
+		}
+		if got != magic {
+			return Ref{}, ErrBadMagic
+		}
+		r.started = true
+	}
+	cpu, err := r.r.ReadByte()
+	if err != nil {
+		return Ref{}, err // io.EOF here is the clean end of stream
+	}
+	flags, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Ref{}, eofIsCorrupt(err)
+	}
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Ref{}, eofIsCorrupt(err)
+	}
+	addr := uint64(int64(r.prevAddr[cpu]) + delta)
+	r.prevAddr[cpu] = addr
+	ref := Ref{
+		Addr:  addr,
+		CPU:   cpu,
+		Op:    Op(flags & 7),
+		Kind:  Kind(flags >> 3 & 3),
+		Class: DataClass(flags >> 5 & 15),
+		Role:  BlockRole(flags >> 9 & 3),
+		Sync:  SyncOp(flags >> 11 & 3),
+	}
+	if flags&flagHasBlock != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Ref{}, eofIsCorrupt(err)
+		}
+		ref.Block = uint32(v)
+	}
+	if flags&flagHasSyncID != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Ref{}, eofIsCorrupt(err)
+		}
+		ref.SyncID = uint32(v)
+	}
+	if flags&flagHasSpot != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Ref{}, eofIsCorrupt(err)
+		}
+		ref.Spot = uint16(v)
+	}
+	if flags&flagHasLen != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Ref{}, eofIsCorrupt(err)
+		}
+		ref.Len = uint32(v)
+	}
+	if flags&flagHasAux != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Ref{}, eofIsCorrupt(err)
+		}
+		ref.Aux = v
+	}
+	return ref, nil
+}
+
+// eofIsCorrupt converts an EOF in the middle of a record into a
+// corruption error, so callers can distinguish truncated traces from
+// clean ends of stream.
+func eofIsCorrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// ReaderSource adapts a Reader to the Source interface, dropping the
+// error distinction: any read error ends the stream.
+func ReaderSource(r *Reader) Source {
+	return FuncSource(func() (Ref, bool) {
+		ref, err := r.ReadRef()
+		if err != nil {
+			return Ref{}, false
+		}
+		return ref, true
+	})
+}

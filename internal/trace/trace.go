@@ -1,0 +1,343 @@
+// Package trace defines the memory-reference trace model that the whole
+// simulator consumes: a typed stream of instruction and data references
+// annotated with the information the paper's hardware performance monitor
+// and kernel instrumentation provided (executing mode, data-structure
+// class, block-operation membership, synchronization events, miss
+// hot-spot identity).
+//
+// The simulator in internal/sim only ever sees values of type Ref, so any
+// producer — a synthetic workload generator, a file reader, or a test —
+// can drive it.
+package trace
+
+import "fmt"
+
+// Kind tells which execution mode issued a reference. The paper's
+// analysis splits everything into user, operating-system and idle time.
+type Kind uint8
+
+const (
+	// KindUser marks references issued by application code.
+	KindUser Kind = iota
+	// KindOS marks references issued by the operating system.
+	KindOS
+	// KindIdle marks references issued by the idle loop.
+	KindIdle
+)
+
+// String returns the conventional short name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindOS:
+		return "os"
+	case KindIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is the operation a reference performs.
+type Op uint8
+
+const (
+	// OpInstr is an instruction fetch.
+	OpInstr Op = iota
+	// OpRead is a data read (load).
+	OpRead
+	// OpWrite is a data write (store).
+	OpWrite
+	// OpPrefetch is a non-binding software prefetch of a data line.
+	OpPrefetch
+	// OpBlockDMA is a pseudo-reference describing an entire block
+	// operation executed by the DMA-like smart cache controller of the
+	// Blk_Dma scheme: the processor stalls while the bus pipelines the
+	// transfer. Aux holds the destination address (0 for a block zero)
+	// and Len the block size in bytes.
+	OpBlockDMA
+)
+
+// String returns the conventional short name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInstr:
+		return "instr"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpPrefetch:
+		return "prefetch"
+	case OpBlockDMA:
+		return "blockdma"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsData reports whether the operation touches the data cache hierarchy.
+func (o Op) IsData() bool { return o != OpInstr }
+
+// DataClass identifies the kernel (or user) data structure a reference
+// touches. The paper's instrumentation mapped nearly every data access
+// back to a source-level data structure; the coherence-miss breakdown of
+// its Table 5 and the optimization targets of Sections 5 and 6 are
+// defined in terms of these classes.
+type DataClass uint8
+
+const (
+	// ClassGeneric is ordinary data with no special role.
+	ClassGeneric DataClass = iota
+	// ClassUserData is application data (matrices, compiler heaps...).
+	ClassUserData
+	// ClassBarrier is a barrier synchronization variable.
+	ClassBarrier
+	// ClassCounter is an infrequently-communicated variable: an event
+	// counter updated frequently by many processors but read rarely
+	// (e.g. vmmeter.v_intr).
+	ClassCounter
+	// ClassFreqShared is a frequently-shared variable with (partial)
+	// producer-consumer behaviour (e.g. freelist.size, cpievents).
+	ClassFreqShared
+	// ClassLock is a kernel lock word.
+	ClassLock
+	// ClassPageTable is a page-table entry.
+	ClassPageTable
+	// ClassProcTable is a process-table entry.
+	ClassProcTable
+	// ClassRunQueue is scheduler run-queue state.
+	ClassRunQueue
+	// ClassBufferCache is a file-system buffer-cache header or page.
+	ClassBufferCache
+	// ClassTimer is the high-resolution timer / callout structures.
+	ClassTimer
+	// ClassSysent is the system-call dispatch table.
+	ClassSysent
+	// ClassFreeList is the physical free-page list.
+	ClassFreeList
+	// ClassStack is kernel-stack data.
+	ClassStack
+)
+
+// String returns the short name of the data class.
+func (c DataClass) String() string {
+	names := [...]string{
+		ClassGeneric:     "generic",
+		ClassUserData:    "userdata",
+		ClassBarrier:     "barrier",
+		ClassCounter:     "counter",
+		ClassFreqShared:  "freqshared",
+		ClassLock:        "lock",
+		ClassPageTable:   "pagetable",
+		ClassProcTable:   "proctable",
+		ClassRunQueue:    "runqueue",
+		ClassBufferCache: "buffercache",
+		ClassTimer:       "timer",
+		ClassSysent:      "sysent",
+		ClassFreeList:    "freelist",
+		ClassStack:       "stack",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("DataClass(%d)", uint8(c))
+}
+
+// BlockRole says which side of a block operation a reference belongs to.
+type BlockRole uint8
+
+const (
+	// BlockNone means the reference is not part of a block operation.
+	BlockNone BlockRole = iota
+	// BlockSrc is a read of the source block.
+	BlockSrc
+	// BlockDst is a write of the destination block.
+	BlockDst
+)
+
+// SyncOp marks synchronization semantics carried by a reference. The
+// simulator re-enforces these at simulation time so that mutual
+// exclusion and barrier semantics survive the timing changes the
+// optimizations introduce (paper Section 2.2).
+type SyncOp uint8
+
+const (
+	// SyncNone is an ordinary reference.
+	SyncNone SyncOp = iota
+	// SyncLockAcquire acquires the lock identified by SyncID.
+	SyncLockAcquire
+	// SyncLockRelease releases the lock identified by SyncID.
+	SyncLockRelease
+	// SyncBarrier arrives at the barrier identified by SyncID; the
+	// processor resumes when all participants have arrived. The low
+	// byte of the participant count travels in Len.
+	SyncBarrier
+)
+
+// Ref is one traced reference. The zero value is a harmless instruction
+// fetch of address zero by CPU 0.
+type Ref struct {
+	// Addr is the physical address accessed. For OpBlockDMA it is the
+	// source block address (or the destination for a block zero).
+	Addr uint64
+	// Aux carries the destination address of an OpBlockDMA copy
+	// (zero for a block zero).
+	Aux uint64
+	// Len is the access size in bytes; for OpBlockDMA it is the block
+	// length, for SyncBarrier the participant count.
+	Len uint32
+	// Block is the block-operation identity this reference belongs to
+	// (0 = none). Consecutive block operations on overlapping data —
+	// the fork-chain pattern of Section 4.1.3 — get distinct ids.
+	Block uint32
+	// SyncID identifies the lock or barrier for synchronizing refs.
+	SyncID uint32
+	// Spot is the miss-hot-spot identity (0 = none) used by the
+	// Section 6 prefetching study.
+	Spot uint16
+	// CPU is the issuing processor.
+	CPU uint8
+	// Op is the operation performed.
+	Op Op
+	// Kind is the execution mode.
+	Kind Kind
+	// Class is the data-structure class accessed.
+	Class DataClass
+	// Role is the block-operation role of the reference.
+	Role BlockRole
+	// Sync carries synchronization semantics.
+	Sync SyncOp
+}
+
+// Line returns the address of the cache line of size lineSize (a power
+// of two) containing the reference's address.
+func (r Ref) Line(lineSize uint64) uint64 { return r.Addr &^ (lineSize - 1) }
+
+// InBlockOp reports whether the reference is part of a block operation.
+func (r Ref) InBlockOp() bool { return r.Block != 0 }
+
+// String renders a compact human-readable form, used by tracedump and
+// in test failure messages.
+func (r Ref) String() string {
+	s := fmt.Sprintf("cpu%d %s %s %#x", r.CPU, r.Kind, r.Op, r.Addr)
+	if r.Op == OpBlockDMA {
+		s += fmt.Sprintf("->%#x len=%d", r.Aux, r.Len)
+	}
+	if r.Block != 0 {
+		s += fmt.Sprintf(" blk=%d/%v", r.Block, r.Role)
+	}
+	if r.Sync != SyncNone {
+		s += fmt.Sprintf(" sync=%d id=%d", r.Sync, r.SyncID)
+	}
+	if r.Spot != 0 {
+		s += fmt.Sprintf(" spot=%d", r.Spot)
+	}
+	if r.Class != ClassGeneric {
+		s += " " + r.Class.String()
+	}
+	return s
+}
+
+// Source produces a stream of references for one processor. Next
+// returns the next reference and true, or a zero Ref and false when the
+// stream is exhausted. Sources need not be safe for concurrent use.
+type Source interface {
+	Next() (Ref, bool)
+}
+
+// SliceSource adapts an in-memory slice of references to the Source
+// interface.
+type SliceSource struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceSource returns a Source that replays refs in order.
+func NewSliceSource(refs []Ref) *SliceSource { return &SliceSource{refs: refs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the source to the beginning of the slice.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of references in the slice.
+func (s *SliceSource) Len() int { return len(s.refs) }
+
+// Collect drains a source into a slice. It is intended for tests and
+// small traces; production paths stream.
+func Collect(s Source) []Ref {
+	var out []Ref
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// FuncSource adapts a generator function to the Source interface.
+type FuncSource func() (Ref, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Ref, bool) { return f() }
+
+// Concat returns a Source that replays each input source to exhaustion
+// in order.
+func Concat(sources ...Source) Source {
+	i := 0
+	return FuncSource(func() (Ref, bool) {
+		for i < len(sources) {
+			if r, ok := sources[i].Next(); ok {
+				return r, true
+			}
+			i++
+		}
+		return Ref{}, false
+	})
+}
+
+// SplitByCPU partitions a merged reference stream into per-processor
+// streams, preserving each processor's program order. It is how a
+// trace file captured as one stream (cmd/tracedump writes one) is fed
+// back to the per-processor simulator.
+func SplitByCPU(src Source, numCPUs int) [][]Ref {
+	per := make([][]Ref, numCPUs)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return per
+		}
+		c := int(r.CPU)
+		if c >= numCPUs {
+			c = c % numCPUs
+		}
+		per[c] = append(per[c], r)
+	}
+}
+
+// Filter returns a Source that yields only references for which keep
+// returns true.
+func Filter(src Source, keep func(Ref) bool) Source {
+	return FuncSource(func() (Ref, bool) {
+		for {
+			r, ok := src.Next()
+			if !ok {
+				return Ref{}, false
+			}
+			if keep(r) {
+				return r, true
+			}
+		}
+	})
+}

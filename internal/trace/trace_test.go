@@ -1,0 +1,331 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindUser: "user", KindOS: "os", KindIdle: "idle", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpInstr: "instr", OpRead: "read", OpWrite: "write",
+		OpPrefetch: "prefetch", OpBlockDMA: "blockdma", Op(7): "Op(7)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestOpIsData(t *testing.T) {
+	if OpInstr.IsData() {
+		t.Error("OpInstr.IsData() = true, want false")
+	}
+	for _, o := range []Op{OpRead, OpWrite, OpPrefetch, OpBlockDMA} {
+		if !o.IsData() {
+			t.Errorf("%v.IsData() = false, want true", o)
+		}
+	}
+}
+
+func TestDataClassString(t *testing.T) {
+	if got := ClassLock.String(); got != "lock" {
+		t.Errorf("ClassLock.String() = %q", got)
+	}
+	if got := DataClass(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range class string = %q", got)
+	}
+}
+
+func TestRefLine(t *testing.T) {
+	r := Ref{Addr: 0x1234}
+	if got := r.Line(16); got != 0x1230 {
+		t.Errorf("Line(16) = %#x, want 0x1230", got)
+	}
+	if got := r.Line(64); got != 0x1200 {
+		t.Errorf("Line(64) = %#x, want 0x1200", got)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Addr: 0x100, CPU: 2, Op: OpBlockDMA, Aux: 0x200, Len: 4096, Block: 7, Role: BlockSrc, Kind: KindOS}
+	s := r.String()
+	for _, want := range []string{"cpu2", "blockdma", "0x100", "0x200", "blk=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	r2 := Ref{Addr: 0x40, Op: OpRead, Sync: SyncLockAcquire, SyncID: 3, Class: ClassLock, Spot: 5}
+	s2 := r2.String()
+	for _, want := range []string{"sync=1", "id=3", "spot=5", "lock"} {
+		if !strings.Contains(s2, want) {
+			t.Errorf("String() = %q, missing %q", s2, want)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	refs := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	s := NewSliceSource(refs)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	got := Collect(s)
+	if !reflect.DeepEqual(got, refs) {
+		t.Errorf("Collect = %v, want %v", got, refs)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next() after exhaustion returned ok")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Addr != 1 {
+		t.Errorf("after Reset, Next() = %v, %v", r, ok)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceSource([]Ref{{Addr: 1}, {Addr: 2}})
+	b := NewSliceSource(nil)
+	c := NewSliceSource([]Ref{{Addr: 3}})
+	got := Collect(Concat(a, b, c))
+	want := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	src := NewSliceSource([]Ref{
+		{Addr: 1, Op: OpRead}, {Addr: 2, Op: OpWrite}, {Addr: 3, Op: OpRead},
+	})
+	got := Collect(Filter(src, func(r Ref) bool { return r.Op == OpRead }))
+	if len(got) != 2 || got[0].Addr != 1 || got[1].Addr != 3 {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func randomRef(rng *rand.Rand) Ref {
+	r := Ref{
+		Addr:  rng.Uint64() & 0xffff_ffff,
+		CPU:   uint8(rng.Intn(4)),
+		Op:    Op(rng.Intn(5)),
+		Kind:  Kind(rng.Intn(3)),
+		Class: DataClass(rng.Intn(14)),
+		Role:  BlockRole(rng.Intn(3)),
+		Sync:  SyncOp(rng.Intn(4)),
+	}
+	if rng.Intn(2) == 0 {
+		r.Block = rng.Uint32() >> 16
+	}
+	if r.Sync != SyncNone {
+		r.SyncID = uint32(rng.Intn(1000)) + 1
+	}
+	if rng.Intn(4) == 0 {
+		r.Spot = uint16(rng.Intn(100)) + 1
+	}
+	if r.Op == OpBlockDMA {
+		r.Aux = rng.Uint64() & 0xffff_ffff
+		r.Len = uint32(rng.Intn(4096)) + 1
+	}
+	return r
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	refs := make([]Ref, 5000)
+	for i := range refs {
+		refs[i] = randomRef(rng)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range refs {
+		if err := w.WriteRef(r); err != nil {
+			t.Fatalf("WriteRef: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(refs))
+	}
+	r := NewReader(&buf)
+	for i, want := range refs {
+		got, err := r.ReadRef()
+		if err != nil {
+			t.Fatalf("ReadRef %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("ref %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadRef(); err != io.EOF {
+		t.Errorf("after last ref, err = %v, want io.EOF", err)
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.ReadRef(); err != io.EOF {
+		t.Errorf("empty trace read err = %v, want io.EOF", err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("this is not a trace file"))
+	if _, err := r.ReadRef(); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	r2 := NewReader(strings.NewReader("shrt"))
+	if _, err := r2.ReadRef(); err != ErrBadMagic {
+		t.Errorf("short input err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteRef(Ref{Addr: uint64(i) * 0x1000, Block: 99999}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(data))
+	var err error
+	for err == nil {
+		_, err = r.ReadRef()
+	}
+	if err == io.EOF {
+		t.Error("truncated trace ended with clean io.EOF, want corruption error")
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Ref{{Addr: 0x10, Op: OpRead}, {Addr: 0x20, Op: OpWrite}}
+	for _, r := range want {
+		if err := w.WriteRef(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(ReaderSource(NewReader(&buf)))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// Property: the codec round-trips any Ref whose fields are within their
+// encodable ranges.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(addr uint64, cpu uint8, op, kind, class, role, sync uint8, block, syncID uint32, spot uint16, ln uint32, aux uint64) bool {
+		want := Ref{
+			Addr:   addr,
+			CPU:    cpu,
+			Op:     Op(op % 5),
+			Kind:   Kind(kind % 3),
+			Class:  DataClass(class % 14),
+			Role:   BlockRole(role % 3),
+			Sync:   SyncOp(sync % 4),
+			Block:  block,
+			SyncID: syncID,
+			Spot:   spot,
+			Len:    ln,
+			Aux:    aux,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteRef(want); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadRef()
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	refs := []Ref{
+		{Op: OpInstr, Kind: KindOS},
+		{Op: OpRead, Kind: KindOS, Class: ClassLock, Block: 1},
+		{Op: OpWrite, Kind: KindOS, Block: 1},
+		{Op: OpRead, Kind: KindUser, Class: ClassUserData},
+		{Op: OpPrefetch, Kind: KindOS},
+		{Op: OpBlockDMA, Kind: KindOS, Block: 2, Len: 4096},
+		{Op: OpRead, Kind: KindOS, Sync: SyncLockAcquire, SyncID: 1, Class: ClassLock},
+	}
+	s := Summarize(NewSliceSource(refs))
+	if s.Total != 7 {
+		t.Errorf("Total = %d, want 7", s.Total)
+	}
+	if s.DataReads != 3 || s.Writes != 1 || s.Instrs != 1 || s.Prefetch != 1 || s.DMAOps != 1 {
+		t.Errorf("op counts: %+v", s)
+	}
+	if s.BlockOps != 2 {
+		t.Errorf("BlockOps = %d, want 2", s.BlockOps)
+	}
+	if s.BlockRefs != 3 {
+		t.Errorf("BlockRefs = %d, want 3", s.BlockRefs)
+	}
+	if s.Syncs != 1 {
+		t.Errorf("Syncs = %d, want 1", s.Syncs)
+	}
+	if s.ByKind[KindUser] != 1 {
+		t.Errorf("ByKind[user] = %d, want 1", s.ByKind[KindUser])
+	}
+	if s.ByClass[ClassLock] != 2 {
+		t.Errorf("ByClass[lock] = %d, want 2", s.ByClass[ClassLock])
+	}
+}
+
+func TestSplitByCPU(t *testing.T) {
+	refs := []Ref{
+		{Addr: 1, CPU: 0}, {Addr: 2, CPU: 1}, {Addr: 3, CPU: 0},
+		{Addr: 4, CPU: 3}, {Addr: 5, CPU: 1}, {Addr: 6, CPU: 9}, // 9 wraps to 1
+	}
+	per := SplitByCPU(NewSliceSource(refs), 4)
+	if len(per) != 4 {
+		t.Fatalf("split into %d streams", len(per))
+	}
+	if len(per[0]) != 2 || per[0][0].Addr != 1 || per[0][1].Addr != 3 {
+		t.Errorf("cpu0 stream = %v", per[0])
+	}
+	if len(per[1]) != 3 { // 2, 5, and the wrapped 6
+		t.Errorf("cpu1 stream = %v", per[1])
+	}
+	if len(per[2]) != 0 || len(per[3]) != 1 {
+		t.Errorf("cpu2/3 streams = %v / %v", per[2], per[3])
+	}
+}

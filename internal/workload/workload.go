@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"math/rand"
+
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/trace"
+)
+
+// DefaultScale is the number of scheduling rounds generated when the
+// caller does not choose; it yields roughly a million references
+// across the four processors — large enough for stable statistics,
+// small enough for sub-second simulations.
+const DefaultScale = 24
+
+// NumCPUs is the processor count of the traced machine.
+const NumCPUs = 4
+
+// Built is a generated workload: per-CPU reference streams plus the
+// kernel that produced them (whose deferred-copy counters feed
+// Table 4).
+type Built struct {
+	Name   Name
+	PerCPU [][]trace.Ref
+	Kernel *kernel.Kernel
+}
+
+// Sources wraps the per-CPU streams as trace sources. Each call
+// returns fresh, independently replayable sources.
+func (b *Built) Sources() []trace.Source {
+	srcs := make([]trace.Source, len(b.PerCPU))
+	for i, refs := range b.PerCPU {
+		srcs[i] = trace.NewSliceSource(refs)
+	}
+	return srcs
+}
+
+// TotalRefs counts all references across processors.
+func (b *Built) TotalRefs() int {
+	n := 0
+	for _, refs := range b.PerCPU {
+		n += len(refs)
+	}
+	return n
+}
+
+// Build generates a workload trace deterministically from the seed.
+// The kernel OptConfig selects the software-side optimizations; the
+// same (name, opt, scale, seed) always produces the same trace.
+func Build(name Name, opt kernel.OptConfig, scale int, seed int64) *Built {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	p := ProfileFor(name)
+	k := kernel.New(opt)
+	g := &generator{
+		p:      p,
+		k:      k,
+		seed:   seed,
+		ems:    make([]*kernel.Emitter, NumCPUs),
+		rngs:   make([]*rand.Rand, NumCPUs),
+		cursor: make([]uint64, NumCPUs),
+		proc:   make([]int, NumCPUs),
+	}
+	for c := 0; c < NumCPUs; c++ {
+		g.ems[c] = &kernel.Emitter{CPU: uint8(c)}
+		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
+		g.proc[c] = c*procsPerCPU + 1
+	}
+	g.global = rand.New(rand.NewSource(seed * 7919))
+	for round := 0; round < scale; round++ {
+		g.round(round)
+	}
+	per := make([][]trace.Ref, NumCPUs)
+	for c := 0; c < NumCPUs; c++ {
+		per[c] = g.ems[c].Refs
+	}
+	return &Built{Name: name, PerCPU: per, Kernel: k}
+}
+
+// generator carries the mutable state of one build.
+type generator struct {
+	p      Profile
+	k      *kernel.Kernel
+	seed   int64
+	ems    []*kernel.Emitter
+	rngs   []*rand.Rand
+	global *rand.Rand
+	// cursor is the per-CPU user streaming cursor.
+	cursor []uint64
+	// proc is the process currently running on each CPU.
+	proc []int
+	// nextProc hands out fresh process ids for forks.
+	nextProc int
+}
+
+// procsPerCPU is the size of each processor's resident process pool.
+// Keeping the pool small models processor affinity (Concentrix does
+// not migrate processes) and keeps the user working set realistic.
+const procsPerCPU = 4
+
+// round generates one scheduling quantum on every processor. Rounds
+// are generated CPU-by-CPU but synchronization annotations keep the
+// simulator's interleaving honest.
+func (g *generator) round(round int) {
+	barriers := 0
+	if g.p.BarrierEvery > 0 && round%g.p.BarrierEvery == 0 {
+		barriers = max(1, g.p.BarriersPerRound)
+	}
+	svc := g.drawServices()
+	for c := 0; c < NumCPUs; c++ {
+		e, rng := g.ems[c], g.rngs[c]
+		// Kernel-service details (sizes, victims, jitter) are drawn
+		// from a per-round stream identical on every CPU, so
+		// gang-scheduled quanta stay balanced; user-side draws keep
+		// the per-CPU streams distinct.
+		svcRNG := rand.New(rand.NewSource(g.seed*131071 + int64(round)*31 + 7))
+		// Gang-scheduling: the scheduler runs everywhere, then the
+		// processors synchronize before the parallel program resumes
+		// (Section 5's explanation of the barrier misses).
+		for b := 0; b < barriers; b++ {
+			g.k.GangBarrier(e, (round+b)%kernel.NumBarriers, uint32(round*8+b), NumCPUs)
+		}
+		if rng.Float64() < g.p.IdleFrac {
+			// An idle quantum runs the idle loop for about as long as
+			// an active quantum runs user code.
+			g.k.IdleLoop(e, 2*g.p.UserRefs/3+rng.Intn(g.p.UserRefs/4+1))
+			continue
+		}
+		steps := g.osServices(c, round, svc, svcRNG)
+		// Rotate the service order per CPU and interleave user-mode
+		// chunks so kernel entries stagger across the quantum.
+		nChunks := len(steps) + 1
+		chunk := g.p.UserRefs / nChunks
+		for i := 0; i <= len(steps); i++ {
+			g.userBurst(c, chunk)
+			if i < len(steps) {
+				steps[(i+c*len(steps)/NumCPUs)%len(steps)]()
+			}
+		}
+	}
+}
+
+// services is the symmetric per-round event plan. Gang-scheduled
+// processes perform near-identical kernel activity in a quantum, so
+// the counts are drawn once per round and shared by all processors;
+// drawing them independently would manufacture load imbalance (and
+// with it artificial barrier-wait time) that the traced machine did
+// not have.
+type services struct {
+	schedules, timers, faults, forks, execs, exits int
+	reads, writes, nameis, sockets, ipis           int
+}
+
+func (g *generator) drawServices() services {
+	p, rng := g.p, g.global
+	return services{
+		schedules: count(rng, p.SchedulesPer),
+		timers:    count(rng, p.TimerTicksPer),
+		faults:    count(rng, p.PageFaultsPer),
+		forks:     count(rng, p.ForksPer),
+		execs:     count(rng, p.ExecsPer),
+		exits:     count(rng, p.ExitsPer),
+		reads:     count(rng, p.ReadsPer),
+		writes:    count(rng, p.WritesPer),
+		nameis:    count(rng, p.NameiPer),
+		sockets:   count(rng, p.SocketsPer),
+		ipis:      count(rng, p.IPIsPer),
+	}
+}
+
+// count draws an event count with expectation rate (a Bernoulli/
+// small-Poisson approximation adequate for rates below ~3).
+func count(rng *rand.Rand, rate float64) int {
+	n := int(rate)
+	if rng.Float64() < rate-float64(n) {
+		n++
+	}
+	return n
+}
+
+// osServices builds the round's kernel activity on cpu c as a list of
+// service steps. The caller interleaves the steps with user-mode
+// chunks, rotating the order per CPU so that the bus-heavy block
+// operations of different processors spread across the quantum instead
+// of colliding — matching a real machine, where the four processors'
+// kernel entries are not phase-locked.
+func (g *generator) osServices(c, round int, svc services, rng *rand.Rand) []func() {
+	e, p := g.ems[c], g.p
+	var steps []func()
+	add := func(fn func()) { steps = append(steps, fn) }
+
+	for i := svc.schedules; i > 0; i-- {
+		add(func() {
+			from := g.proc[c]
+			// Processes are CPU-affine: the scheduler rotates within
+			// the processor's small resident pool.
+			to := c*procsPerCPU + 1 + rng.Intn(procsPerCPU)
+			g.k.Schedule(e, rng, from, to)
+			g.proc[c] = to
+		})
+	}
+	for i := svc.timers; i > 0; i-- {
+		add(func() { g.k.TimerTick(e, rng) })
+	}
+	for i := svc.faults; i > 0; i-- {
+		add(func() { g.k.PageFault(e, rng, g.proc[c], p.DstWarmFrac) })
+	}
+	for i := svc.forks; i > 0; i-- {
+		add(func() {
+			g.nextProc++
+			child := 16 + g.nextProc%(kernel.NProcs-16)
+			chain := rng.Float64() < p.ForkChainProb
+			g.k.Fork(e, rng, g.proc[c], child, p.ForkPages, chain, p.SrcWarmFrac, p.DstWarmFrac)
+		})
+	}
+	for i := svc.execs; i > 0; i-- {
+		add(func() {
+			size := p.pickSize(rng.Float64()) + uint64(rng.Intn(2))*4096
+			g.k.Exec(e, rng, g.proc[c], size, rng.Float64() > p.ReadOnlyProb, p.SrcWarmFrac)
+		})
+	}
+	for i := svc.exits; i > 0; i-- {
+		add(func() { g.k.Exit(e, rng, 16+rng.Intn(kernel.NProcs-16)) })
+	}
+	for i := svc.reads; i > 0; i-- {
+		add(func() {
+			size := p.pickSize(rng.Float64())
+			g.k.ReadSyscall(e, rng, g.proc[c], size, rng.Float64() > p.ReadOnlyProb, p.SrcWarmFrac)
+		})
+	}
+	for i := svc.writes; i > 0; i-- {
+		add(func() { g.k.WriteSyscall(e, rng, g.proc[c], p.pickSize(rng.Float64())) })
+	}
+	for i := svc.nameis; i > 0; i-- {
+		add(func() { g.k.NameiLookup(e, rng, 2+rng.Intn(3)) })
+	}
+	for i := svc.sockets; i > 0; i-- {
+		add(func() { g.k.SocketOp(e, rng, g.proc[c]) })
+	}
+	for i := svc.ipis; i > 0; i-- {
+		add(func() {
+			// The sender writes the target's cpievents slot; the
+			// target handles the interrupt in its own stream.
+			target := (c + 1 + rng.Intn(NumCPUs-1)) % NumCPUs
+			g.k.SendIPI(e, rng, target)
+			g.k.HandleIPI(g.ems[target], rng)
+		})
+	}
+	if p.PagerEvery > 0 && round%p.PagerEvery == 0 && c == round/p.PagerEvery%NumCPUs {
+		add(func() { g.k.Pager(e, rng, NumCPUs) })
+	}
+	return steps
+}
+
+// userBurst emits one quantum of user-mode computation: a hot loop
+// over a per-process working set, a streaming component, and the
+// instruction stream of a small loop body.
+func (g *generator) userBurst(c, refs int) {
+	e, rng, p := g.ems[c], g.rngs[c], g.p
+	proc := g.proc[c]
+	textBase := kernel.UserText(proc)
+	workSet := kernel.UserData(proc)              // 8 KB hot working set
+	streamBase := kernel.UserData(proc) + 0x20000 // long streaming region
+
+	n := refs / 5 // each iteration emits ~5 refs
+	pc := textBase
+	for i := 0; i < n; i++ {
+		// Small loop body: 4 instructions then one data access (a
+		// compute-heavy numeric inner loop).
+		if i%16 == 0 {
+			pc = textBase + uint64(rng.Intn(4))*64
+		}
+		for j := 0; j < 4; j++ {
+			e.Emit(trace.Ref{Addr: pc, Op: trace.OpInstr, Kind: trace.KindUser})
+			pc += 4
+		}
+		var addr uint64
+		if rng.Float64() < p.UserStreamFrac {
+			addr = streamBase + g.cursor[c]
+			g.cursor[c] += 4
+			if g.cursor[c] >= 0x30000 {
+				g.cursor[c] = 0
+			}
+		} else if rng.Float64() < 0.97 {
+			// Skewed reuse: most accesses hit the hottest 2 KB.
+			addr = workSet + uint64(rng.Intn(2048/16))*16
+		} else {
+			addr = workSet + uint64(rng.Intn(8192/16))*16
+		}
+		op := trace.OpRead
+		if rng.Intn(4) == 0 {
+			op = trace.OpWrite
+		}
+		e.Emit(trace.Ref{Addr: addr, Op: op, Kind: trace.KindUser, Class: trace.ClassUserData})
+	}
+}

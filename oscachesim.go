@@ -1,0 +1,126 @@
+// Package oscachesim reproduces "Improving the Data Cache Performance
+// of Multiprocessor Operating Systems" (Chun Xia and Josep Torrellas,
+// HPCA 1996) as an executable system: a cycle-level simulator of the
+// paper's 4-processor bus-based machine, a synthetic multiprocessor
+// UNIX kernel and the four system-intensive workloads it was measured
+// under, the paper's full set of optimizations (block-operation
+// prefetching/bypassing/DMA, data privatization and relocation,
+// selective Firefly update, hot-spot prefetching), and a harness that
+// regenerates every table and figure of the evaluation.
+//
+// This package is the public face of the library: it re-exports the
+// types needed to run studies without importing the internal packages.
+//
+// Quick start:
+//
+//	base, _ := oscachesim.Run(oscachesim.TRFD4, oscachesim.Base, 0, 1)
+//	full, _ := oscachesim.Run(oscachesim.TRFD4, oscachesim.BCPref, 0, 1)
+//	fmt.Printf("OS speedup: %.1f%%\n",
+//	    100*(1-float64(full.OSTime())/float64(base.OSTime())))
+//
+// The cmd directory provides ready-made tools: ossim (single runs),
+// tables and figures (regenerate the paper's evaluation), sweep
+// (cache-geometry grids), and tracedump (trace inspection).
+package oscachesim
+
+import (
+	"oscachesim/internal/core"
+	"oscachesim/internal/experiment"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// System identifies one of the paper's evaluated machine/kernel
+// configurations.
+type System = core.System
+
+// The eight systems, in the paper's presentation order.
+const (
+	// Base is the unmodified machine and kernel.
+	Base = core.Base
+	// BlkPref software-prefetches block-operation source data.
+	BlkPref = core.BlkPref
+	// BlkBypass routes block operations around the caches.
+	BlkBypass = core.BlkBypass
+	// BlkByPref combines bypassing with a source prefetch buffer.
+	BlkByPref = core.BlkByPref
+	// BlkDma performs block operations with the DMA-like controller.
+	BlkDma = core.BlkDma
+	// BCohReloc adds data privatization and relocation to BlkDma.
+	BCohReloc = core.BCohReloc
+	// BCohRelUp adds the selective Firefly update protocol.
+	BCohRelUp = core.BCohRelUp
+	// BCPref adds hot-spot prefetching — the paper's full system.
+	BCPref = core.BCPref
+)
+
+// Systems lists all systems in presentation order.
+func Systems() []System { return core.Systems() }
+
+// ParseSystem converts a system name ("Blk_Dma") to its identifier.
+func ParseSystem(name string) (System, error) { return core.ParseSystem(name) }
+
+// Workload names one of the paper's four traced workloads.
+type Workload = workload.Name
+
+// The four workloads of the study.
+const (
+	// TRFD4 is four runs of the parallel TRFD code (16 processes).
+	TRFD4 = workload.TRFD4
+	// TRFDMake mixes one TRFD with four C-compiler phases.
+	TRFDMake = workload.TRFDMake
+	// ARC2DFsck mixes four ARC2D runs with a file-system check.
+	ARC2DFsck = workload.ARC2DFsck
+	// Shell keeps 21 background UNIX commands running.
+	Shell = workload.Shell
+)
+
+// Workloads lists the workloads in the paper's column order.
+func Workloads() []Workload { return workload.Names() }
+
+// ParseWorkload converts a workload name to its identifier.
+func ParseWorkload(name string) (Workload, error) { return workload.ParseName(name) }
+
+// Outcome is the measurement record of one simulation run.
+type Outcome = core.Outcome
+
+// RunConfig fully describes a simulation run, including machine
+// overrides and the deferred-copy / pure-update study knobs.
+type RunConfig = core.RunConfig
+
+// MachineParams describes the simulated hardware; DefaultMachine is
+// the paper's machine (Section 2.4).
+type MachineParams = sim.Params
+
+// DefaultMachine returns the paper's 4x200-MHz machine: 16-KB L1I,
+// 32-KB write-through L1D, 256-KB lockup-free write-back L2, Illinois
+// coherence on an 8-byte 40-MHz split-transaction bus.
+func DefaultMachine() MachineParams { return sim.DefaultParams() }
+
+// Run simulates one workload under one system. scale is the number of
+// generated scheduling rounds (0 = the workload default); seed makes
+// the run deterministic — comparisons between systems must share it.
+func Run(w Workload, s System, scale int, seed int64) (*Outcome, error) {
+	return core.Run(core.RunConfig{Workload: w, System: s, Scale: scale, Seed: seed})
+}
+
+// RunWith simulates an arbitrary configuration.
+func RunWith(cfg RunConfig) (*Outcome, error) { return core.Run(cfg) }
+
+// Experiment names one regenerable table or figure of the paper.
+type Experiment = experiment.Experiment
+
+// Experiments returns every table and figure of the evaluation, in
+// paper order.
+func Experiments() []Experiment { return experiment.All() }
+
+// ExperimentRunner memoizes simulation outcomes across experiments.
+type ExperimentRunner = experiment.Runner
+
+// ExperimentConfig controls experiment scale and determinism.
+type ExperimentConfig = experiment.Config
+
+// NewExperimentRunner returns a runner for regenerating experiments.
+func NewExperimentRunner(cfg ExperimentConfig) *ExperimentRunner {
+	return experiment.NewRunner(cfg)
+}

@@ -1,0 +1,87 @@
+package oscachesim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	base, err := Run(TRFD4, Base, 5, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	full, err := Run(TRFD4, BCPref, 5, 1)
+	if err != nil {
+		t.Fatalf("Run BCPref: %v", err)
+	}
+	if full.Counters.OSDReadMisses() >= base.Counters.OSDReadMisses() {
+		t.Errorf("BCPref misses (%d) not below Base (%d)",
+			full.Counters.OSDReadMisses(), base.Counters.OSDReadMisses())
+	}
+}
+
+func TestPublicAPILists(t *testing.T) {
+	if len(Systems()) != 8 {
+		t.Errorf("Systems() = %d entries", len(Systems()))
+	}
+	if len(Workloads()) != 4 {
+		t.Errorf("Workloads() = %d entries", len(Workloads()))
+	}
+	if len(Experiments()) != 13 {
+		t.Errorf("Experiments() = %d entries", len(Experiments()))
+	}
+}
+
+func TestPublicAPIParsers(t *testing.T) {
+	s, err := ParseSystem("Blk_Dma")
+	if err != nil || s != BlkDma {
+		t.Errorf("ParseSystem = %v, %v", s, err)
+	}
+	w, err := ParseWorkload("Shell")
+	if err != nil || w != Shell {
+		t.Errorf("ParseWorkload = %v, %v", w, err)
+	}
+}
+
+func TestDefaultMachineIsPaperMachine(t *testing.T) {
+	m := DefaultMachine()
+	if m.NumCPUs != 4 || m.L1D.Size != 32*1024 || m.L2.Size != 256*1024 {
+		t.Errorf("DefaultMachine = %+v", m)
+	}
+	if m.L1HitCycles != 1 || m.L2HitCycles != 12 || m.MemCycles != 51 {
+		t.Errorf("latencies = %d/%d/%d", m.L1HitCycles, m.L2HitCycles, m.MemCycles)
+	}
+}
+
+func TestExperimentRunnerEndToEnd(t *testing.T) {
+	r := NewExperimentRunner(ExperimentConfig{Scale: 4, Seed: 1})
+	for _, e := range Experiments() {
+		if e.ID == "figure6" || e.ID == "figure7" {
+			continue // geometry sweeps are covered by their own tests
+		}
+		out, err := e.Render(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if !strings.Contains(strings.ToLower(e.Title), "table") &&
+			!strings.Contains(strings.ToLower(e.Title), "figure") &&
+			!strings.Contains(strings.ToLower(e.Title), "section") {
+			t.Errorf("%s: odd title %q", e.ID, e.Title)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestRunWithCustomMachine(t *testing.T) {
+	m := DefaultMachine()
+	m.L1D.Size = 64 * 1024
+	o, err := RunWith(RunConfig{Workload: Shell, System: Base, Scale: 4, Seed: 1, Machine: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Refs == 0 {
+		t.Error("empty run")
+	}
+}
