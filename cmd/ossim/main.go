@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ossim [-workload TRFD_4] [-system Base] [-scale N] [-seed N]
+//	ossim [-workload TRFD_4] [-system Base] [-scale N] [-seed N] [-check]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"oscachesim/internal/check"
 	"oscachesim/internal/core"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/stats"
@@ -21,13 +22,14 @@ import (
 
 func main() {
 	var (
-		wname  = flag.String("workload", string(workload.TRFD4), "workload: TRFD_4, TRFD+Make, ARC2D+Fsck, Shell")
-		sname  = flag.String("system", "Base", "system: Base, Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma, BCoh_Reloc, BCoh_RelUp, BCPref")
-		scale  = flag.Int("scale", 0, "scheduling rounds to generate (0 = workload default)")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		dcopy  = flag.Bool("deferred-copy", false, "enable the deferred sub-page copy optimization")
-		pureUp = flag.Bool("pure-update", false, "use the update protocol on every page")
-		tfile  = flag.String("trace", "", "simulate this captured trace file instead of generating a workload")
+		wname   = flag.String("workload", string(workload.TRFD4), "workload: TRFD_4, TRFD+Make, ARC2D+Fsck, Shell")
+		sname   = flag.String("system", "Base", "system: Base, Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma, BCoh_Reloc, BCoh_RelUp, BCPref")
+		scale   = flag.Int("scale", 0, "scheduling rounds to generate (0 = workload default)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		dcopy   = flag.Bool("deferred-copy", false, "enable the deferred sub-page copy optimization")
+		pureUp  = flag.Bool("pure-update", false, "use the update protocol on every page")
+		tfile   = flag.String("trace", "", "simulate this captured trace file instead of generating a workload")
+		docheck = flag.Bool("check", false, "run the differential oracle in lockstep and fail on any divergence")
 	)
 	flag.Parse()
 
@@ -36,28 +38,58 @@ func main() {
 		fatal(err)
 	}
 	if *tfile != "" {
-		runTraceFile(*tfile, sys)
+		runTraceFile(*tfile, sys, *docheck)
 		return
 	}
 	w, err := workload.ParseName(*wname)
 	if err != nil {
 		fatal(err)
 	}
-	o, err := core.Run(core.RunConfig{
+	cfg := core.RunConfig{
 		Workload: w, System: sys, Scale: *scale, Seed: *seed,
 		DeferredCopy: *dcopy, PureUpdate: *pureUp,
-	})
+	}
+	var k *check.Checker
+	if *docheck {
+		cfg.Monitor = func(s *sim.Simulator, _ sim.Params) { k = check.Attach(s) }
+	}
+	o, err := core.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	report(o)
+	if *docheck {
+		if err := verifyRun(k, o); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncheck: ok (%d events verified, no divergence)\n", k.Events())
+	}
+}
+
+// verifyRun applies the full oracle verdict after a -check run: event
+// divergences first (with every recorded instance), then the counter
+// cross-check and the conservation laws.
+func verifyRun(k *check.Checker, o *core.Outcome) error {
+	if divs := k.Report(); len(divs) > 0 {
+		for _, d := range divs {
+			fmt.Fprintln(os.Stderr, "ossim: divergence:", d)
+		}
+		if n := k.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "ossim: ... and %d more divergences not shown\n", n)
+		}
+		return fmt.Errorf("oracle diverged %d time(s)", uint64(len(divs))+k.Dropped())
+	}
+	if err := k.VerifyCounters(o.Counters, o.Refs); err != nil {
+		return err
+	}
+	return check.VerifyOutcome(o)
 }
 
 // runTraceFile simulates a captured trace — the paper's own mode of
 // operation — under the chosen system's hardware configuration. The
 // software-side optimizations are whatever the trace was captured
 // with.
-func runTraceFile(path string, system core.System) {
+func runTraceFile(path string, system core.System, docheck bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -74,15 +106,27 @@ func runTraceFile(path string, system core.System) {
 	if err != nil {
 		fatal(err)
 	}
+	var k *check.Checker
+	if docheck {
+		k = check.Attach(s)
+	}
 	res, err := s.Run()
 	if err != nil {
 		fatal(err)
 	}
-	report(&core.Outcome{
+	o := &core.Outcome{
 		Config:   core.RunConfig{System: system, Workload: workload.Name(path)},
 		Counters: res.Counters,
 		Refs:     res.Refs,
-	})
+		CPUTime:  res.CPUTime,
+	}
+	report(o)
+	if docheck {
+		if err := verifyRun(k, o); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ncheck: ok (%d events verified, no divergence)\n", k.Events())
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,581 @@
+// Package check is the correctness harness of the reproduction: a
+// timing-free reference oracle and invariant engine run in lockstep
+// against the cycle-level simulator.
+//
+// The Checker implements sim.Observer. It mirrors the simulator's
+// event stream into an independent model — flat per-CPU line-state
+// maps implementing the textbook Illinois-MESI and Firefly semantics,
+// its own invalidation bookkeeping for the miss classifier, and
+// multiset models of the two write buffers — and, after every
+// coherence transition, compares both the state the simulator claims
+// and the state actually stored in its cache arrays against the
+// oracle's expectation. The protocol transition rules here are
+// re-implemented from the paper (they deliberately do NOT call
+// internal/coherence), so a corrupted decision table in the simulator
+// surfaces as a divergence rather than being mirrored.
+//
+// Invariants checked on every event:
+//
+//   - single-owner: at most one Modified/Exclusive copy of a line
+//     system-wide, and an owner never coexists with a sharer;
+//   - no-stale-read: a read hit never observes a line that a remote
+//     write invalidated and that was not refilled (pending local
+//     writes to the line are exempt — a write-allocate in flight
+//     legitimately fills the primary cache before it drains);
+//   - write-buffer forwarding consistency: a read forwards from a
+//     write buffer iff the oracle's multiset holds a matching entry;
+//   - model-vs-array agreement: after every transition the oracle's
+//     state for the affected line matches the simulator's arrays on
+//     every processor.
+//
+// The first divergences are reported with full context (global ref
+// index, CPU, address, expected vs actual) via Report and Err.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"oscachesim/internal/coherence"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/trace"
+)
+
+// Divergence is one disagreement between the oracle and the simulator.
+type Divergence struct {
+	// RefIndex is the global ordinal of the trace reference in flight.
+	RefIndex uint64
+	// CPU is the processor the diverging event belongs to.
+	CPU int
+	// Addr is the affected address.
+	Addr uint64
+	// What names the check that failed.
+	What string
+	// Expected and Actual describe the disagreement.
+	Expected string
+	Actual   string
+}
+
+// String renders the divergence with full context.
+func (d Divergence) String() string {
+	return fmt.Sprintf("ref %d cpu%d addr %#x: %s: expected %s, actual %s",
+		d.RefIndex, d.CPU, d.Addr, d.What, d.Expected, d.Actual)
+}
+
+// maxDivergences caps the report so a systematic divergence doesn't
+// drown the first (most useful) one.
+const maxDivergences = 16
+
+// missCtx is the classification evidence captured for the read miss in
+// flight on one processor.
+type missCtx struct {
+	valid bool
+	inval bool
+	class trace.DataClass
+}
+
+// Checker is the differential oracle. Attach one to a simulator with
+// Attach before Run; read Report/Err afterwards (or mid-run).
+type Checker struct {
+	s *sim.Simulator
+	p sim.Params
+
+	// model holds each processor's secondary-cache line states as the
+	// oracle believes them (absent = Invalid).
+	model []map[uint64]coherence.State
+	// invalBy is the oracle's own record of which data class last
+	// invalidated a line on a processor (miss-classification evidence).
+	invalBy []map[uint64]trace.DataClass
+	// l1wb / l2wb are multisets of pending buffered writes, keyed at
+	// the buffers' match granules (word, L2 line).
+	l1wb []map[uint64]int
+	l2wb []map[uint64]int
+	// ctx is the per-processor miss context in flight.
+	ctx []missCtx
+
+	divs []Divergence
+	// dropped counts divergences beyond the report cap.
+	dropped uint64
+
+	// Event and reference tallies for the conservation cross-check.
+	events   uint64
+	refs     uint64
+	instrs   [stats.NumModes]uint64
+	reads    [stats.NumModes]uint64
+	writes   [stats.NumModes]uint64
+	misses   [stats.NumModes]uint64
+	osMissBy [stats.NumMissClasses]uint64
+	osCohBy  [stats.NumCohClasses]uint64
+}
+
+// Attach builds a Checker over the simulator's machine and registers
+// it as the simulator's observer. Call before Run.
+func Attach(s *sim.Simulator) *Checker {
+	p := s.Params()
+	n := s.NumCPUs()
+	k := &Checker{s: s, p: p}
+	for i := 0; i < n; i++ {
+		k.model = append(k.model, make(map[uint64]coherence.State))
+		k.invalBy = append(k.invalBy, make(map[uint64]trace.DataClass))
+		k.l1wb = append(k.l1wb, make(map[uint64]int))
+		k.l2wb = append(k.l2wb, make(map[uint64]int))
+	}
+	k.ctx = make([]missCtx, n)
+	s.SetObserver(k)
+	return k
+}
+
+// Events returns how many events the checker has observed.
+func (k *Checker) Events() uint64 { return k.events }
+
+// Report returns the recorded divergences (capped; see Dropped).
+func (k *Checker) Report() []Divergence { return k.divs }
+
+// Dropped returns how many divergences were discarded beyond the cap.
+func (k *Checker) Dropped() uint64 { return k.dropped }
+
+// Err returns nil when the oracle agreed with the simulator
+// everywhere, or an error describing the first divergences.
+func (k *Checker) Err() error {
+	if len(k.divs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d divergence(s)", uint64(len(k.divs))+k.dropped)
+	for i, d := range k.divs {
+		if i >= 4 {
+			b.WriteString("\n  ...")
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (k *Checker) diverge(ev sim.Event, cpu int, addr uint64, what, expected, actual string) {
+	if len(k.divs) >= maxDivergences {
+		k.dropped++
+		return
+	}
+	k.divs = append(k.divs, Divergence{
+		RefIndex: ev.RefIndex, CPU: cpu, Addr: addr,
+		What: what, Expected: expected, Actual: actual,
+	})
+}
+
+// --- Independent re-implementations ----------------------------------
+
+// modeOf mirrors the simulator's kind-to-mode mapping.
+func modeOf(kind trace.Kind) int {
+	if int(kind) >= stats.NumModes {
+		return int(trace.KindOS)
+	}
+	return int(kind)
+}
+
+// cohClassOf is the oracle's own Table 5 mapping (independent of
+// stats.CohClassOf, so a corruption there is caught).
+func cohClassOf(dc trace.DataClass) stats.CohClass {
+	switch dc {
+	case trace.ClassBarrier:
+		return stats.CohBarrier
+	case trace.ClassCounter:
+		return stats.CohInfreqComm
+	case trace.ClassFreqShared:
+		return stats.CohFreqShared
+	case trace.ClassLock:
+		return stats.CohLock
+	default:
+		return stats.CohOther
+	}
+}
+
+func (k *Checker) l2Line(addr uint64) uint64 { return addr &^ (k.p.L2.LineSize - 1) }
+func (k *Checker) word(addr uint64) uint64   { return addr &^ 3 }
+func (k *Checker) updatePage(addr uint64) bool {
+	return k.p.Attrs != nil && k.p.Attrs.Get(addr).Update
+}
+
+// remotePresent reports whether any processor other than cpu holds
+// line in the oracle model.
+func (k *Checker) remotePresent(cpu int, line uint64) bool {
+	for i := range k.model {
+		if i == cpu {
+			continue
+		}
+		if k.model[i][line].Valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingWrite reports whether cpu has a buffered write destined for
+// the given L2 line in either write-buffer model.
+func (k *Checker) pendingWrite(cpu int, line uint64) bool {
+	if k.l2wb[cpu][line] > 0 {
+		return true
+	}
+	for a, n := range k.l1wb[cpu] {
+		if n > 0 && k.l2Line(a) == line {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Event dispatch ---------------------------------------------------
+
+// Observe implements sim.Observer.
+func (k *Checker) Observe(ev sim.Event) {
+	k.events++
+	switch ev.Kind {
+	case sim.EvRef:
+		k.onRef(ev)
+	case sim.EvReadHit:
+		k.onReadHit(ev)
+	case sim.EvForward:
+		k.onForward(ev)
+	case sim.EvNoForward:
+		k.onNoForward(ev)
+	case sim.EvMissContext:
+		k.onMissContext(ev)
+	case sim.EvReadMiss:
+		k.onReadMiss(ev)
+	case sim.EvFillRead, sim.EvFillWrite:
+		k.onFill(ev)
+	case sim.EvEvict:
+		k.onEvict(ev)
+	case sim.EvInvalidate:
+		k.onInvalidate(ev)
+	case sim.EvDowngrade:
+		k.onDowngrade(ev)
+	case sim.EvAbsorb:
+		k.onAbsorb(ev)
+	case sim.EvUpgrade:
+		k.onUpgrade(ev)
+	case sim.EvUpdate:
+		k.onUpdate(ev)
+	case sim.EvWBPush:
+		k.onWBPush(ev)
+	case sim.EvWBRetire:
+		k.onWBRetire(ev)
+	}
+}
+
+func (k *Checker) onRef(ev sim.Event) {
+	k.refs++
+	// A fully-hidden prefetch consumes its miss context without
+	// recording a miss; discard any stale context at the next ref.
+	k.ctx[ev.CPU] = missCtx{}
+	mode := modeOf(ev.Ref.Kind)
+	switch ev.Ref.Op {
+	case trace.OpInstr, trace.OpPrefetch:
+		k.instrs[mode]++
+	case trace.OpRead:
+		k.reads[mode]++
+	case trace.OpWrite:
+		k.writes[mode]++
+	}
+}
+
+func (k *Checker) onReadHit(ev sim.Event) {
+	line := k.l2Line(ev.Addr)
+	switch ev.Level {
+	case 1:
+		// No-stale-read: a primary hit on a line a remote write
+		// invalidated (and that was never refilled) reads stale data —
+		// unless a local write to the line is in flight, in which case
+		// the primary copy is the fresh write-allocate.
+		if cls, stale := k.invalBy[ev.CPU][line]; stale && !k.pendingWrite(ev.CPU, line) {
+			k.diverge(ev, ev.CPU, ev.Addr, "stale primary read hit",
+				"miss (line invalidated by remote "+cls.String()+" write)", "hit")
+		}
+	case 2:
+		if st := k.model[ev.CPU][line]; !st.Valid() {
+			k.diverge(ev, ev.CPU, ev.Addr, "secondary read hit on oracle-invalid line",
+				"miss (oracle state I)", "hit")
+		}
+	}
+}
+
+func (k *Checker) onForward(ev sim.Event) {
+	switch ev.Level {
+	case 1:
+		if k.l1wb[ev.CPU][k.word(ev.Addr)] == 0 {
+			k.diverge(ev, ev.CPU, ev.Addr, "forward from empty word write buffer",
+				"no matching entry", "forwarded at level 1")
+		}
+	case 2:
+		if k.l1wb[ev.CPU][k.word(ev.Addr)] > 0 {
+			k.diverge(ev, ev.CPU, ev.Addr, "forward level",
+				"level 1 (word buffer holds the address)", "level 2")
+		}
+		if k.l2wb[ev.CPU][k.l2Line(ev.Addr)] == 0 {
+			k.diverge(ev, ev.CPU, ev.Addr, "forward from empty line write buffer",
+				"no matching entry", "forwarded at level 2")
+		}
+	}
+}
+
+func (k *Checker) onNoForward(ev sim.Event) {
+	if k.l1wb[ev.CPU][k.word(ev.Addr)] > 0 {
+		k.diverge(ev, ev.CPU, ev.Addr, "missed forwarding opportunity",
+			"forward from word buffer", "no forward")
+	}
+	if k.l2wb[ev.CPU][k.l2Line(ev.Addr)] > 0 {
+		k.diverge(ev, ev.CPU, ev.Addr, "missed forwarding opportunity",
+			"forward from line buffer", "no forward")
+	}
+}
+
+func (k *Checker) onMissContext(ev sim.Event) {
+	line := k.l2Line(ev.Addr)
+	cls, expInval := k.invalBy[ev.CPU][line]
+	if ev.CtxInval != expInval {
+		k.diverge(ev, ev.CPU, ev.Addr, "miss-context invalidation evidence",
+			fmt.Sprintf("inval=%v", expInval), fmt.Sprintf("inval=%v", ev.CtxInval))
+	} else if expInval && ev.Class != cls {
+		k.diverge(ev, ev.CPU, ev.Addr, "miss-context invalidation class",
+			cls.String(), ev.Class.String())
+	}
+	delete(k.invalBy[ev.CPU], line)
+	// Carry the simulator's claimed evidence forward so the classifier
+	// check below tests classification logic, not the evidence again.
+	k.ctx[ev.CPU] = missCtx{valid: true, inval: ev.CtxInval, class: ev.Class}
+}
+
+func (k *Checker) onReadMiss(ev sim.Event) {
+	mode := modeOf(ev.Ref.Kind)
+	k.misses[mode]++
+	isOS := ev.Ref.Kind == trace.KindOS
+	if ev.Classified != isOS {
+		k.diverge(ev, ev.CPU, ev.Addr, "miss classification scope",
+			fmt.Sprintf("classified=%v (kind %s)", isOS, ev.Ref.Kind),
+			fmt.Sprintf("classified=%v", ev.Classified))
+	}
+	ctx := k.ctx[ev.CPU]
+	k.ctx[ev.CPU] = missCtx{}
+	if !ev.Classified {
+		return
+	}
+	if !ctx.valid {
+		k.diverge(ev, ev.CPU, ev.Addr, "read miss without captured context",
+			"miss context before classification", "none")
+		ctx = missCtx{inval: ev.CtxInval}
+	}
+	// The oracle's own Table 2 classifier.
+	exp := stats.MissOther
+	expCoh := stats.CohOther
+	switch {
+	case ev.Ref.Block != 0:
+		exp = stats.MissBlock
+	case ctx.inval:
+		exp = stats.MissCoherence
+		expCoh = cohClassOf(ctx.class)
+	}
+	if ev.MissClass != exp {
+		k.diverge(ev, ev.CPU, ev.Addr, "miss class",
+			exp.String(), ev.MissClass.String())
+	} else if exp == stats.MissCoherence && ev.CohClass != expCoh {
+		k.diverge(ev, ev.CPU, ev.Addr, "coherence miss sub-class",
+			expCoh.String(), ev.CohClass.String())
+	}
+	k.osMissBy[exp]++
+	if exp == stats.MissCoherence {
+		k.osCohBy[expCoh]++
+	}
+}
+
+func (k *Checker) onFill(ev sim.Event) {
+	line := ev.Addr
+	remote := k.remotePresent(ev.CPU, line)
+	var exp coherence.State
+	if ev.Kind == sim.EvFillRead {
+		// Both protocols: Shared when another cache holds the line
+		// (remote holders were downgraded to Shared before the fill,
+		// preserving presence), else valid-exclusive.
+		exp = coherence.Exclusive
+		if remote {
+			exp = coherence.Shared
+		}
+	} else {
+		// Write-allocate: Illinois always fills Modified (everyone else
+		// was invalidated); Firefly fills Shared when sharers keep
+		// their copies, Modified otherwise.
+		exp = coherence.Modified
+		if k.updatePage(line) && remote {
+			exp = coherence.Shared
+		}
+	}
+	if ev.State != exp {
+		k.diverge(ev, ev.CPU, line, "fill state", exp.String(), ev.State.String())
+	}
+	k.model[ev.CPU][line] = ev.State
+	delete(k.invalBy[ev.CPU], line)
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onEvict(ev sim.Event) {
+	line := ev.Addr
+	prior, held := k.model[ev.CPU][line]
+	if !held {
+		k.diverge(ev, ev.CPU, line, "eviction of oracle-invalid line",
+			"oracle holds the victim", "absent")
+	} else if prior != ev.State {
+		k.diverge(ev, ev.CPU, line, "evicted line state", prior.String(), ev.State.String())
+	}
+	delete(k.model[ev.CPU], line)
+}
+
+func (k *Checker) onInvalidate(ev sim.Event) {
+	line := ev.Addr
+	prior, held := k.model[ev.Holder][line]
+	if !held {
+		k.diverge(ev, ev.Holder, line, "invalidation of oracle-invalid line",
+			"oracle holds a copy", "absent")
+	} else if prior != ev.State {
+		k.diverge(ev, ev.Holder, line, "invalidated line prior state",
+			prior.String(), ev.State.String())
+	}
+	delete(k.model[ev.Holder], line)
+	k.invalBy[ev.Holder][line] = ev.Class
+	// The snoop must have cleared the holder's arrays (inclusion).
+	if st := k.s.L2State(ev.Holder, line); st.Valid() {
+		k.diverge(ev, ev.Holder, line, "secondary line survived invalidation",
+			"I", st.String())
+	}
+	for a := line; a < line+k.p.L2.LineSize; a += k.p.L1D.LineSize {
+		if k.s.L1DHas(ev.Holder, a) {
+			k.diverge(ev, ev.Holder, a, "primary line survived invalidation",
+				"absent", "present")
+		}
+	}
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onDowngrade(ev sim.Event) {
+	line := ev.Addr
+	prior, held := k.model[ev.Holder][line]
+	if !held {
+		k.diverge(ev, ev.Holder, line, "downgrade of oracle-invalid line",
+			"oracle holds a copy", "absent")
+	} else if prior != ev.State {
+		k.diverge(ev, ev.Holder, line, "downgraded line prior state",
+			prior.String(), ev.State.String())
+	}
+	k.model[ev.Holder][line] = coherence.Shared
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onAbsorb(ev sim.Event) {
+	line := ev.Addr
+	prior := k.model[ev.CPU][line]
+	if prior != coherence.Modified && prior != coherence.Exclusive {
+		k.diverge(ev, ev.CPU, line, "write absorbed by non-owned line",
+			"M or E", prior.String())
+	}
+	k.model[ev.CPU][line] = coherence.Modified
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onUpgrade(ev sim.Event) {
+	line := ev.Addr
+	if prior := k.model[ev.CPU][line]; prior != coherence.Shared {
+		k.diverge(ev, ev.CPU, line, "upgrade of non-Shared line",
+			"S", prior.String())
+	}
+	k.model[ev.CPU][line] = coherence.Modified
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onUpdate(ev sim.Event) {
+	line := ev.Addr
+	if prior := k.model[ev.CPU][line]; prior != coherence.Shared {
+		k.diverge(ev, ev.CPU, line, "update broadcast from non-Shared line",
+			"S", prior.String())
+	}
+	if remote := k.remotePresent(ev.CPU, line); remote != ev.Sharers {
+		k.diverge(ev, ev.CPU, line, "update shared-line signal",
+			fmt.Sprintf("sharers=%v", remote), fmt.Sprintf("sharers=%v", ev.Sharers))
+	}
+	next := coherence.Shared
+	if !ev.Sharers {
+		// Firefly: the last copy becomes valid-exclusive (clean).
+		next = coherence.Exclusive
+	}
+	k.model[ev.CPU][line] = next
+	k.verifyLine(ev, line)
+}
+
+func (k *Checker) onWBPush(ev sim.Event) {
+	key := k.word(ev.Addr)
+	buf := k.l1wb
+	if ev.Level == 2 {
+		key = k.l2Line(ev.Addr)
+		buf = k.l2wb
+	}
+	buf[ev.CPU][key]++
+	depth := k.p.L1WriteBufDepth
+	if ev.Level == 2 {
+		depth = k.p.L2WriteBufDepth
+	}
+	if n := mapTotal(buf[ev.CPU]); n > depth {
+		k.diverge(ev, ev.CPU, ev.Addr, "write buffer over capacity",
+			fmt.Sprintf("<= %d entries", depth), fmt.Sprintf("%d", n))
+	}
+}
+
+func (k *Checker) onWBRetire(ev sim.Event) {
+	key := k.word(ev.Addr)
+	buf := k.l1wb
+	if ev.Level == 2 {
+		key = k.l2Line(ev.Addr)
+		buf = k.l2wb
+	}
+	if buf[ev.CPU][key] == 0 {
+		k.diverge(ev, ev.CPU, ev.Addr, "write-buffer retire without matching push",
+			"a pending entry", "none")
+		return
+	}
+	buf[ev.CPU][key]--
+	if buf[ev.CPU][key] == 0 {
+		delete(buf[ev.CPU], key)
+	}
+}
+
+func mapTotal(m map[uint64]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// verifyLine checks the MESI single-owner invariant and the
+// model-vs-array agreement for one line after a transition.
+func (k *Checker) verifyLine(ev sim.Event, line uint64) {
+	owners, valid := 0, 0
+	for i := range k.model {
+		st := k.model[i][line]
+		if st.Valid() {
+			valid++
+		}
+		if st == coherence.Modified || st == coherence.Exclusive {
+			owners++
+		}
+		if actual := k.s.L2State(i, line); actual != st {
+			k.diverge(ev, i, line, "oracle/array state mismatch",
+				st.String(), actual.String())
+		}
+	}
+	if owners > 1 {
+		k.diverge(ev, ev.CPU, line, "single-owner invariant",
+			"<=1 M/E copy", fmt.Sprintf("%d owners", owners))
+	} else if owners == 1 && valid > 1 {
+		k.diverge(ev, ev.CPU, line, "single-owner invariant",
+			"owner excludes sharers", fmt.Sprintf("owner + %d sharer(s)", valid-1))
+	}
+}

@@ -163,6 +163,10 @@ type RunConfig struct {
 	// primary-cache eviction is attributed to the (evictor, victim)
 	// data-structure pair.
 	TrackConflicts bool
+	// Monitor, when non-nil, is called with the freshly built simulator
+	// before Run starts, letting callers attach an observer (the
+	// internal/check differential oracle) or inspect the machine.
+	Monitor func(*sim.Simulator, sim.Params)
 }
 
 // Outcome is the result of one run.
@@ -175,6 +179,8 @@ type Outcome struct {
 	Deferred kernel.DeferredCopyStats
 	// Refs is the number of references simulated.
 	Refs uint64
+	// CPUTime is each processor's final local clock.
+	CPUTime []uint64
 	// Conflicts is the (evictor, victim) eviction census, present only
 	// when TrackConflicts was set.
 	Conflicts map[sim.ConflictPair]uint64
@@ -226,6 +232,9 @@ func Run(cfg RunConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Monitor != nil {
+		cfg.Monitor(s, p)
+	}
 	res, err := s.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
@@ -235,6 +244,7 @@ func Run(cfg RunConfig) (*Outcome, error) {
 		Counters:  res.Counters,
 		Deferred:  built.Kernel.DeferredCopies(),
 		Refs:      res.Refs,
+		CPUTime:   res.CPUTime,
 		Conflicts: res.Conflicts,
 	}, nil
 }

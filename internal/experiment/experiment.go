@@ -36,6 +36,13 @@ type Config struct {
 // EXPERIMENTS.md numbers.
 func DefaultConfig() Config { return Config{Scale: 0, Seed: 1, Parallel: true} }
 
+// TestConfig returns the reduced, fully deterministic configuration the
+// test suite standardizes on: a small fixed scale so the whole
+// evaluation grid runs in seconds, a pinned seed, and serial execution
+// so runs are reproducible independent of scheduling. The golden files
+// under testdata/golden were rendered with exactly this configuration.
+func TestConfig() Config { return Config{Scale: 5, Seed: 1, Parallel: false} }
+
 // runKey identifies a memoized outcome.
 type runKey struct {
 	w        workload.Name

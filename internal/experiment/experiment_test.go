@@ -8,10 +8,10 @@ import (
 	"oscachesim/internal/workload"
 )
 
-// testRunner uses a tiny scale so the whole evaluation regenerates in
-// seconds.
+// testRunner uses the documented reduced-scale preset so every test
+// (and the golden files) exercises the same configuration.
 func testRunner() *Runner {
-	return NewRunner(Config{Scale: 5, Seed: 1, Parallel: false})
+	return NewRunner(TestConfig())
 }
 
 func TestRunnerMemoizes(t *testing.T) {

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against
+// them: go test ./internal/experiment/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files from current output")
+
+// TestGoldenExperiments renders every experiment at the standard test
+// configuration and compares the output byte-for-byte against the
+// checked-in golden files. Any change to the simulator, the workload
+// generator, or the renderers that shifts a single number shows up as
+// a diff here — the whole-pipeline regression net.
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden renders include the slow geometry sweeps")
+	}
+	r := testRunner()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			got, err := e.Render(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", e.ID+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					e.ID, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/workload"
+)
+
+// TestRunnerParallelWarmUp drives the concurrent warm-up path — the
+// only place the Runner runs simulations on multiple goroutines — so
+// `go test -race` can observe the memoization cache and the semaphore
+// under real contention. The pair list deliberately repeats entries:
+// concurrent requests for the same key race to fill the same cache
+// slot.
+func TestRunnerParallelWarmUp(t *testing.T) {
+	r := NewRunner(Config{Scale: 3, Seed: 1, Parallel: true})
+	pairs := []Pair{
+		{workload.Shell, core.Base},
+		{workload.Shell, core.BlkDma},
+		{workload.TRFD4, core.Base},
+		{workload.TRFD4, core.BCPref},
+		{workload.Shell, core.Base}, // duplicate: same-key contention
+		{workload.TRFD4, core.Base},
+	}
+	if err := r.WarmUp(pairs); err != nil {
+		t.Fatal(err)
+	}
+	// Post-warm-up reads must hit the cache and agree with a serial
+	// runner on the same configuration.
+	serial := NewRunner(Config{Scale: 3, Seed: 1, Parallel: false})
+	for _, pr := range pairs {
+		a, err := r.Outcome(pr.Workload, pr.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := serial.Outcome(pr.Workload, pr.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Counters != b.Counters {
+			t.Errorf("%s/%s: parallel and serial runs disagree", pr.Workload, pr.System)
+		}
+	}
+}

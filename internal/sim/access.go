@@ -26,6 +26,7 @@ func (s *Simulator) instrFetch(c *cpuState, r trace.Ref, mode int) {
 	// L1I miss: fetch the line through L2.
 	var stall uint64
 	if _, hit := c.l2.Lookup(r.Addr); hit {
+		s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 2, Addr: r.Addr})
 		stall = s.p.L2HitCycles - 1
 	} else {
 		stall = s.l2MissFill(c, r.Addr, bus.KindFill, 0)
@@ -45,6 +46,7 @@ func (s *Simulator) readAccess(c *cpuState, r trace.Ref, mode int) {
 
 	// 1. Primary-cache hit.
 	if _, hit := c.l1d.Lookup(r.Addr); hit {
+		s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 1, Addr: r.Addr})
 		s.c.Time[mode].Exec++
 		c.time++
 		s.noteBlockSrcTouch(c, r, true)
@@ -95,10 +97,16 @@ func (s *Simulator) readAccess(c *cpuState, r trace.Ref, mode int) {
 	// 4. Write-buffer forwarding (reads bypass writes, forwarding on
 	// an address match).
 	if c.l1wb.Contains(r.Addr) || c.l2wb.Contains(r.Addr) {
+		lvl := 1
+		if !c.l1wb.Contains(r.Addr) {
+			lvl = 2
+		}
+		s.emit(Event{Kind: EvForward, CPU: c.id, Level: lvl, Addr: r.Addr})
 		s.c.Time[mode].Exec++
 		c.time++
 		return
 	}
+	s.emit(Event{Kind: EvNoForward, CPU: c.id, Addr: r.Addr})
 
 	// 5. Cache-bypassing block loads (Blk_Bypass and the non-buffered
 	// side of Blk_ByPref).
@@ -111,6 +119,7 @@ func (s *Simulator) readAccess(c *cpuState, r trace.Ref, mode int) {
 	ctx := s.captureMissContext(c, r.Addr)
 	var stall uint64
 	if _, hit := c.l2.Lookup(r.Addr); hit {
+		s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 2, Addr: r.Addr})
 		stall = s.p.L2HitCycles - 1
 	} else {
 		stall = s.l2MissFill(c, r.Addr, bus.KindFill, r.Block)
@@ -145,6 +154,7 @@ func (s *Simulator) bypassRead(c *cpuState, r trace.Ref, mode int) {
 	case c.l2.State(r.Addr).Valid():
 		// Line present in own L2: read it from there (no L1 fill).
 		c.l2.Lookup(r.Addr) // refresh LRU
+		s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 2, Addr: r.Addr})
 		stall = s.p.L2HitCycles - 1
 	case c.srcReg2 == l2line:
 		// Present in the L2-level register; still a primary-cache
@@ -215,6 +225,7 @@ func (s *Simulator) writeAccess(c *cpuState, r trace.Ref, mode int) {
 		Tag:   uint8(r.Class),
 		Block: r.Block,
 	})
+	s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 1, Addr: r.Addr})
 	s.c.Time[mode].Exec++
 	c.time += stall + 1
 }
@@ -366,7 +377,9 @@ func (s *Simulator) dmaAccess(c *cpuState, r trace.Ref, mode int) {
 				// Memory is written by the DMA, so a dirty copy
 				// becomes clean-shared.
 				if l.State == coherence.Modified || l.State == coherence.Exclusive {
+					prior := l.State
 					l.State = coherence.Shared
+					s.emit(Event{Kind: EvDowngrade, CPU: c.id, Holder: o.id, Addr: line, State: prior})
 				}
 			}
 		}
@@ -434,11 +447,13 @@ func (s *Simulator) l2BusRead(c *cpuState, addr uint64, kind bus.Kind, install b
 			continue
 		}
 		if l, ok := o.l2.Peek(l2line); ok {
+			prior := l.State
 			l.State = coherence.Shared
+			s.emit(Event{Kind: EvDowngrade, CPU: c.id, Holder: o.id, Addr: l2line, State: prior})
 		}
 	}
 	if install {
-		s.fillL2(c, l2line, act.Next, blockID)
+		s.fillL2(c, l2line, act.Next, blockID, false)
 	}
 	return wait + latency - 1
 }
@@ -446,9 +461,21 @@ func (s *Simulator) l2BusRead(c *cpuState, addr uint64, kind bus.Kind, install b
 // fillL2 installs a line in the local secondary cache, handling the
 // victim: dirty victims are written back over the bus, and inclusion
 // is preserved by invalidating the victim's primary-cache lines.
-func (s *Simulator) fillL2(c *cpuState, l2line uint64, st coherence.State, blockID uint32) {
+// write distinguishes write-allocate fills from read fills for the
+// observer.
+func (s *Simulator) fillL2(c *cpuState, l2line uint64, st coherence.State, blockID uint32, write bool) {
 	v := c.l2.Fill(l2line, st, blockID)
 	delete(c.invalBy, l2line)
+	if s.obs != nil {
+		if v.Valid {
+			s.emit(Event{Kind: EvEvict, CPU: c.id, Addr: v.Addr, State: v.State})
+		}
+		kind := EvFillRead
+		if write {
+			kind = EvFillWrite
+		}
+		s.emit(Event{Kind: kind, CPU: c.id, Addr: l2line, State: st})
+	}
 	if !v.Valid {
 		return
 	}
@@ -491,11 +518,12 @@ func (s *Simulator) snoopInvalidate(c *cpuState, l2line uint64, class trace.Data
 		if o == c {
 			continue
 		}
-		if _, ok := o.l2.Invalidate(l2line); ok {
+		if st, ok := o.l2.Invalidate(l2line); ok {
 			o.invalBy[l2line] = invalRecord{class: class}
 			for a := l2line; a < l2line+s.p.L2.LineSize; a += s.p.L1D.LineSize {
 				o.l1d.Invalidate(a)
 			}
+			s.emit(Event{Kind: EvInvalidate, CPU: c.id, Holder: o.id, Addr: l2line, State: st, Class: class})
 		}
 	}
 }
@@ -508,7 +536,9 @@ func (s *Simulator) snoopUpdate(c *cpuState, l2line uint64) (sharers bool) {
 		}
 		if l, ok := o.l2.Peek(l2line); ok {
 			sharers = true
+			prior := l.State
 			l.State = coherence.Shared
+			s.emit(Event{Kind: EvDowngrade, CPU: c.id, Holder: o.id, Addr: l2line, State: prior})
 		}
 	}
 	return sharers
@@ -545,6 +575,7 @@ func (s *Simulator) captureMissContext(c *cpuState, addr uint64) missContext {
 		ctx.invalCls = rec.class
 		delete(c.invalBy, l2line)
 	}
+	s.emit(Event{Kind: EvMissContext, CPU: c.id, Addr: addr, CtxInval: ctx.inval, Class: ctx.invalCls})
 	return ctx
 }
 
@@ -571,22 +602,27 @@ func (s *Simulator) recordReadMiss(c *cpuState, r trace.Ref, mode int, stall uin
 	}
 
 	if r.Kind != trace.KindOS {
+		s.emit(Event{Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r, CtxInval: ctx.inval})
 		return
 	}
+	cls := stats.MissOther
+	cohCls := stats.CohOther
 	switch {
 	case inBlock:
-		s.c.OSMissBy[stats.MissBlock]++
+		cls = stats.MissBlock
 		if r.Role == trace.BlockSrc {
 			s.c.BlockOverhead.ReadStall += stall
 		}
-	default:
-		if ctx.inval {
-			s.c.OSMissBy[stats.MissCoherence]++
-			s.c.OSCohBy[stats.CohClassOf(ctx.invalCls)]++
-		} else {
-			s.c.OSMissBy[stats.MissOther]++
-		}
+	case ctx.inval:
+		cls = stats.MissCoherence
+		cohCls = stats.CohClassOf(ctx.invalCls)
+		s.c.OSCohBy[cohCls]++
 	}
+	s.c.OSMissBy[cls]++
+	s.emit(Event{
+		Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r,
+		MissClass: cls, CohClass: cohCls, Classified: true, CtxInval: ctx.inval,
+	})
 	if r.Spot != 0 {
 		s.c.OSHotSpotMisses++
 		if int(r.Spot) < len(s.c.OSSpotMisses) {
@@ -762,9 +798,11 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 	case st == coherence.Modified || st == coherence.Exclusive:
 		// Absorbed by the owned L2 line.
 		c.l1wb.Pop()
+		s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
+		s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
 		c.wbFreeA = start + s.p.L2WriteCycles
 		return true
 	default:
@@ -773,6 +811,7 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 		// the same line.
 		if c.l2wb.Contains(e.Addr) {
 			c.l1wb.Pop()
+			s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
 			c.wbFreeA = start + s.p.L2WriteCycles
 			return true
 		}
@@ -788,6 +827,7 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 			start = max(start, bStart)
 		}
 		c.l1wb.Pop()
+		s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
 		c.l2wb.Push(cache.WriteBufferEntry{
 			Addr:     e.Addr,
 			Ready:    start + s.p.L2WriteCycles,
@@ -795,6 +835,7 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 			Tag:      e.Tag,
 			Block:    e.Block,
 		})
+		s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 2, Addr: e.Addr})
 		c.wbFreeA = start + s.p.L2WriteCycles
 		return true
 	}
@@ -809,6 +850,7 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 	if !ok {
 		return c.wbFreeB
 	}
+	s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 2, Addr: e.Addr})
 	start := max(c.wbFreeB, e.Ready)
 	l2line := c.l2.LineAddr(e.Addr)
 	st := c.l2.State(l2line)
@@ -823,6 +865,7 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
+		s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
 	case st == coherence.Shared && updatePage:
 		// Firefly word-update broadcast: remote copies stay valid,
 		// memory is written through.
@@ -832,6 +875,7 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk && !sharers {
 			l.State = coherence.Exclusive
 		}
+		s.emit(Event{Kind: EvUpdate, CPU: c.id, Addr: l2line, Sharers: sharers})
 		c.wbFreeB = grant + occ
 	case st == coherence.Shared:
 		// Invalidation-only upgrade.
@@ -841,6 +885,7 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
+		s.emit(Event{Kind: EvUpgrade, CPU: c.id, Addr: l2line})
 		c.wbFreeB = grant + occ
 	default:
 		// Write miss: write-allocate with a read-exclusive fill
@@ -867,7 +912,7 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 			uocc := 2 * s.bus.ControlOccupancy()
 			s.bus.Reserve(grant+occ, uocc, bus.KindUpdate, 4)
 		}
-		s.fillL2(c, l2line, act.Next, e.Block)
+		s.fillL2(c, l2line, act.Next, e.Block, true)
 		_ = latency
 		// The split-transaction bus pipelines write-allocate fills:
 		// the buffer engine is free again once the bus transfer is

@@ -22,6 +22,9 @@ type Simulator struct {
 	locks    map[uint32]*lockState
 	barriers map[uint32]*barrierState
 
+	// obs, when non-nil, receives the event stream of observe.go.
+	obs Observer
+
 	// conflicts counts L1D evictions by (evictor, victim) region pair
 	// when Params.RegionNamer is set.
 	conflicts map[ConflictPair]uint64
@@ -175,6 +178,7 @@ func (s *Simulator) step(c *cpuState) {
 	}
 	s.refs++
 	c.refs++
+	s.emit(Event{Kind: EvRef, CPU: c.id, Addr: r.Addr, Ref: r})
 	s.exec(c, r)
 }
 

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encodeRefs is a test helper: encode refs into an in-memory trace.
+func encodeRefs(t testing.TB, refs []Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range refs {
+		if err := w.WriteRef(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodecRoundTrip encodes two arbitrary references (two, so the
+// per-CPU address delta chain is exercised) and decodes them back. The
+// writer masks the enum fields to their header bit widths, so the
+// comparison applies the same masks.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0),
+		uint64(0), uint32(0), uint32(0), uint16(0), uint32(0), uint64(0), uint64(0))
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(5), uint8(1), uint8(2),
+		uint64(0x10f000), uint32(7), uint32(99), uint16(11), uint32(4096), uint64(0x20f000), uint64(0xfffffffffffff000))
+	f.Add(uint8(255), uint8(7), uint8(3), uint8(15), uint8(3), uint8(3),
+		^uint64(0), ^uint32(0), ^uint32(0), ^uint16(0), ^uint32(0), ^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, cpu, op, kind, class, role, sync uint8,
+		addr uint64, block, syncID uint32, spot uint16, length uint32, aux, addr2 uint64) {
+		in := []Ref{
+			{
+				Addr: addr, CPU: cpu, Op: Op(op), Kind: Kind(kind),
+				Class: DataClass(class), Role: BlockRole(role), Sync: SyncOp(sync),
+				Block: block, SyncID: syncID, Spot: spot, Len: length, Aux: aux,
+			},
+			{Addr: addr2, CPU: cpu, Op: Op(op & 1)},
+		}
+		enc := encodeRefs(t, in)
+		r := NewReader(bytes.NewReader(enc))
+		for i, want := range in {
+			got, err := r.ReadRef()
+			if err != nil {
+				t.Fatalf("ref %d: %v", i, err)
+			}
+			// The header stores the enums in fixed-width bit fields.
+			want.Op &= 7
+			want.Kind &= 3
+			want.Class &= 15
+			want.Role &= 3
+			want.Sync &= 3
+			if got != want {
+				t.Fatalf("ref %d round-trip:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+		if _, err := r.ReadRef(); err != io.EOF {
+			t.Fatalf("after %d refs: got %v, want io.EOF", len(in), err)
+		}
+	})
+}
+
+// FuzzDecodeRobust feeds arbitrary bytes to the decoder: it must
+// terminate with a clean error (never panic, never loop), and inputs
+// that do not start with the trace magic must report ErrBadMagic.
+func FuzzDecodeRobust(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a trace file at all"))
+	f.Add(encodeRefs(f, nil))
+	f.Add(encodeRefs(f, []Ref{
+		{Addr: 0x1000, CPU: 0, Op: OpRead, Kind: KindOS, Class: ClassLock, Block: 3, Len: 4096},
+		{Addr: 0x1020, CPU: 1, Op: OpWrite, Aux: 0x2000},
+	}))
+	// A valid header followed by a truncated record.
+	valid := encodeRefs(f, []Ref{{Addr: 0x5000, CPU: 2, Op: OpInstr}})
+	f.Add(valid[:len(valid)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			ref, err := r.ReadRef()
+			if err != nil {
+				if i == 0 && (len(data) < 8 || !bytes.Equal(data[:8], magic[:])) {
+					if !errors.Is(err, ErrBadMagic) {
+						t.Fatalf("bad header decoded without ErrBadMagic: %v", err)
+					}
+				}
+				return
+			}
+			if i == 0 && (len(data) < 8 || !bytes.Equal(data[:8], magic[:])) {
+				t.Fatalf("decoded ref %+v from input without trace magic", ref)
+			}
+			if i > len(data) {
+				t.Fatalf("decoded more records (%d) than input bytes (%d)", i, len(data))
+			}
+		}
+	})
+}
