@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"oscachesim/internal/experiment"
 )
@@ -26,7 +30,11 @@ func main() {
 	)
 	flag.Parse()
 
-	r := experiment.NewRunner(experiment.Config{Scale: *scale, Seed: *seed})
+	// Ctrl-C / SIGTERM cancels the in-flight simulation promptly
+	// instead of letting the study run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := experiment.NewRunnerContext(ctx, experiment.Config{Scale: *scale, Seed: *seed})
 	studies := experiment.Ablations()
 	if *study != "all" {
 		e, err := experiment.FindAblation(*study)
@@ -39,7 +47,11 @@ func main() {
 	for _, e := range studies {
 		out, err := e.Render(r)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ablate:", err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "ablate: interrupted:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "ablate:", err)
+			}
 			os.Exit(1)
 		}
 		fmt.Println(out)

@@ -1,0 +1,206 @@
+// Command loadbench is a closed-loop load generator for a live ossimd
+// daemon: -c concurrent clients submit -n simulation jobs, wait for
+// each to finish (polling the status endpoint), and report throughput,
+// end-to-end latency percentiles and the daemon's /metrics. A 429 is
+// honored by sleeping the advertised Retry-After and retrying, which
+// is what makes the loop closed.
+//
+// Seeds rotate through -seeds values, so the duplicate ratio — and
+// therefore the daemon's cache hit ratio — is controlled by the flag:
+// -seeds 1 makes every request identical (pure dedup), -seeds 50 with
+// -n 50 makes every request unique (pure simulation).
+//
+// Exit status is non-zero when any request failed, so CI can drive it
+// as a smoke test.
+//
+// Usage:
+//
+//	loadbench -addr http://127.0.0.1:8080 -n 50 -c 8 -scale 2 -seeds 5
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "ossimd base URL")
+		n       = flag.Int("n", 100, "total requests")
+		c       = flag.Int("c", 8, "concurrent clients")
+		wname   = flag.String("workload", "TRFD_4", "workload to request")
+		system  = flag.String("system", "Base", "system to request")
+		scale   = flag.Int("scale", 2, "scheduling rounds per request")
+		seeds   = flag.Int64("seeds", 5, "rotate seeds 1..N (1 = all requests identical)")
+		poll    = flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-request end-to-end budget")
+	)
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *seeds <= 0 {
+		fmt.Fprintln(os.Stderr, "loadbench: -n, -c and -seeds must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		okCount, errCount, dedupCount, retries atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for range *c {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				lat, deduped, err := oneRequest(client, *addr, runBody(*wname, *system, *scale, 1+int64(i)%*seeds), *poll, *timeout, &retries)
+				if err != nil {
+					errCount.Add(1)
+					fmt.Fprintf(os.Stderr, "loadbench: request %d: %v\n", i, err)
+					continue
+				}
+				okCount.Add(1)
+				if deduped {
+					dedupCount.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	fmt.Printf("loadbench: %d requests in %s (%.1f req/s), %d ok, %d errors, %d deduped, %d 429-retries\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(),
+		okCount.Load(), errCount.Load(), dedupCount.Load(), retries.Load())
+	fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+
+	if body, err := get(client, *addr+"/metrics"); err == nil {
+		fmt.Printf("metrics: %s", body)
+	}
+	if errCount.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runBody renders one /v1/run request body.
+func runBody(w, sys string, scale int, seed int64) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"workload": w, "system": sys, "scale": scale, "seed": seed,
+	})
+	return b
+}
+
+// oneRequest submits a run and waits for its terminal state, honoring
+// 429 backpressure. Returns end-to-end latency and whether the submit
+// was answered by an existing job.
+func oneRequest(client *http.Client, addr string, body []byte, poll, timeout time.Duration, retries *atomic.Int64) (time.Duration, bool, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+
+	var sub struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Deduped bool   `json:"deduped"`
+		Error   string `json:"error"`
+	}
+	for {
+		resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, false, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries.Add(1)
+			if time.Now().After(deadline) {
+				return 0, false, fmt.Errorf("queue stayed full for %s", timeout)
+			}
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return 0, false, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			return 0, false, fmt.Errorf("submit: bad response: %v", err)
+		}
+		break
+	}
+
+	for {
+		body, err := get(client, addr+"/v1/jobs/"+sub.ID)
+		if err != nil {
+			return 0, false, err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return 0, false, fmt.Errorf("status: bad response: %v", err)
+		}
+		switch st.State {
+		case "done":
+			return time.Since(start), sub.Deduped, nil
+		case "failed", "canceled":
+			return 0, false, fmt.Errorf("job %s %s: %s", sub.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return 0, false, fmt.Errorf("job %s still %s after %s", sub.ID, st.State, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// get fetches one URL body, failing on non-200.
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

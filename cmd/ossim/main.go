@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"oscachesim/internal/check"
 	"oscachesim/internal/core"
@@ -33,12 +36,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	sys, err := core.ParseSystem(*sname)
 	if err != nil {
 		fatal(err)
 	}
 	if *tfile != "" {
-		runTraceFile(*tfile, sys, *docheck)
+		runTraceFile(ctx, *tfile, sys, *docheck)
 		return
 	}
 	w, err := workload.ParseName(*wname)
@@ -53,7 +59,7 @@ func main() {
 	if *docheck {
 		cfg.Monitor = func(s *sim.Simulator, _ sim.Params) { k = check.Attach(s) }
 	}
-	o, err := core.Run(cfg)
+	o, err := core.Run(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,7 +95,7 @@ func verifyRun(k *check.Checker, o *core.Outcome) error {
 // operation — under the chosen system's hardware configuration. The
 // software-side optimizations are whatever the trace was captured
 // with.
-func runTraceFile(path string, system core.System, docheck bool) {
+func runTraceFile(ctx context.Context, path string, system core.System, docheck bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -110,7 +116,7 @@ func runTraceFile(path string, system core.System, docheck bool) {
 	if docheck {
 		k = check.Attach(s)
 	}
-	res, err := s.Run()
+	res, err := s.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}

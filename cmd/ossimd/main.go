@@ -1,0 +1,92 @@
+// Command ossimd is the long-running simulation service: a stdlib-only
+// HTTP daemon that runs oscachesim simulations as jobs on a bounded
+// worker pool, serves results from a content-addressed cache with
+// singleflight deduplication, streams job progress as NDJSON, and
+// drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	ossimd -addr :8080 -workers 4 -queue 64 -job-timeout 5m
+//
+// API (see README.md for the full reference):
+//
+//	POST /v1/run               submit one simulation
+//	POST /v1/sweep             submit a geometry/system grid
+//	GET  /v1/jobs/{id}         job status and result
+//	GET  /v1/jobs/{id}/stream  NDJSON progress stream
+//	GET  /healthz              liveness
+//	GET  /metrics              expvar counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oscachesim/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 4, "simulation worker pool size")
+		queue      = flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline (requests may tighten, never extend)")
+		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "maximum wait for in-flight jobs at shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM / Ctrl-C starts a graceful drain: stop accepting,
+	// cancel queued jobs, finish running simulations, exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ossimd: listening on %s (workers=%d queue=%d job-timeout=%s)",
+			*addr, *workers, *queue, *jobTimeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal.
+		log.Fatalf("ossimd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("ossimd: shutdown signal received, draining")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("ossimd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(shutCtx); err != nil {
+		log.Printf("ossimd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ossimd: serve: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("ossimd: drained, exiting")
+}

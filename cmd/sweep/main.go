@@ -3,6 +3,11 @@
 // simulates the chosen systems and prints normalized OS execution time
 // and miss counts.
 //
+// Simulations run through the shared experiment.Runner memoization —
+// the same content-addressed cache the ossimd daemon serves from — so
+// repeated grid points cost one simulation, and Ctrl-C cancels the
+// in-flight simulation instead of letting it run to completion.
+//
 // Usage:
 //
 //	sweep -sizes 16,32,64 -systems Base,Blk_Dma,BCPref
@@ -10,13 +15,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"oscachesim/internal/core"
+	"oscachesim/internal/experiment"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/workload"
 )
@@ -85,17 +95,22 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := experiment.NewRunnerContext(ctx, experiment.Config{Scale: *scale, Seed: *seed})
+
 	for _, w := range workloads {
 		fmt.Printf("== %s\n", w)
 		for _, pt := range grid {
 			var baseTime uint64
 			fmt.Printf("  %-6s", pt.label)
 			for i, sys := range systems {
-				machine := pt.p
-				o, err := core.Run(core.RunConfig{
-					Workload: w, System: sys, Scale: *scale, Seed: *seed, Machine: &machine,
-				})
+				o, err := r.OutcomeOn(w, sys, pt.p)
 				if err != nil {
+					if errors.Is(err, context.Canceled) {
+						fmt.Println()
+						fatal(fmt.Errorf("interrupted: %w", err))
+					}
 					fatal(err)
 				}
 				if i == 0 {
@@ -106,6 +121,8 @@ func main() {
 			fmt.Println()
 		}
 	}
+	st := r.Stats()
+	fmt.Printf("-- %d simulations, %d cache hits\n", st.Executions, st.Hits+st.Joins)
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"reflect"
@@ -71,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fromMonitor, err := s.Run()
+	fromMonitor, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	direct, err := s2.Run()
+	direct, err := s2.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func TestDifferentialAllSystems(t *testing.T) {
 		for _, sys := range core.Systems() {
 			w, sys := w, sys
 			t.Run(string(w)+"/"+sys.String(), func(t *testing.T) {
-				o, err := Differential(core.RunConfig{
+				o, err := Differential(context.Background(), core.RunConfig{
 					Workload: w, System: sys, Scale: testScale, Seed: 1,
 				})
 				if err != nil {
@@ -56,7 +57,7 @@ func (t *tamperer) Observe(ev sim.Event) {
 func TestCheckerDetectsCorruptedTransition(t *testing.T) {
 	var k *Checker
 	var tam *tamperer
-	_, err := core.Run(core.RunConfig{
+	_, err := core.Run(context.Background(), core.RunConfig{
 		Workload: workload.Shell, System: core.Base, Scale: testScale, Seed: 1,
 		Monitor: func(s *sim.Simulator, _ sim.Params) {
 			k = Attach(s)
@@ -91,11 +92,11 @@ func TestCheckerDetectsCorruptedTransition(t *testing.T) {
 // a bit-identical outcome.
 func TestSeedDeterminism(t *testing.T) {
 	cfg := core.RunConfig{Workload: workload.TRFD4, System: core.BCPref, Scale: testScale, Seed: 7}
-	a, err := core.Run(cfg)
+	a, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.Run(cfg)
+	b, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestSeedDeterminism(t *testing.T) {
 	if a.Refs != b.Refs || !reflect.DeepEqual(a.CPUTime, b.CPUTime) {
 		t.Error("same seed produced different reference counts or clocks")
 	}
-	c, err := core.Run(core.RunConfig{Workload: workload.TRFD4, System: core.BCPref, Scale: testScale, Seed: 8})
+	c, err := core.Run(context.Background(), core.RunConfig{Workload: workload.TRFD4, System: core.BCPref, Scale: testScale, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestSeedDeterminism(t *testing.T) {
 // TestVerifyOutcomeCatchesViolations corrupts counters one law at a
 // time and expects VerifyOutcome to object.
 func TestVerifyOutcomeCatchesViolations(t *testing.T) {
-	good, err := core.Run(core.RunConfig{Workload: workload.Shell, System: core.Base, Scale: testScale, Seed: 1})
+	good, err := core.Run(context.Background(), core.RunConfig{Workload: workload.Shell, System: core.Base, Scale: testScale, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestVerifyOutcomeCatchesViolations(t *testing.T) {
 // set-mapping shifts of a direct-mapped cache.
 func TestMonotonicity(t *testing.T) {
 	sizes := []uint64{8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024}
-	err := Monotonicity(workload.Shell, core.Base, testScale, 1, sizes, 0.5)
+	err := Monotonicity(context.Background(), workload.Shell, core.Base, testScale, 1, sizes, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestMonotonicity(t *testing.T) {
 func TestCheckerObservesEverySystem(t *testing.T) {
 	for _, sys := range []core.System{core.Base, core.BlkBypass, core.BlkDma, core.BCohRelUp} {
 		var k *Checker
-		_, err := core.Run(core.RunConfig{
+		_, err := core.Run(context.Background(), core.RunConfig{
 			Workload: workload.Shell, System: sys, Scale: testScale, Seed: 1,
 			Monitor: func(s *sim.Simulator, _ sim.Params) { k = Attach(s) },
 		})

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 
 	"oscachesim/internal/core"
@@ -128,10 +129,10 @@ func VerifyOutcome(o *core.Outcome) error {
 // Differential runs one configuration with the oracle attached and
 // returns the outcome, failing if the oracle diverged, the counters
 // disagree with the oracle's tallies, or a conservation law broke.
-func Differential(cfg core.RunConfig) (*core.Outcome, error) {
+func Differential(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
 	var k *Checker
 	cfg.Monitor = func(s *sim.Simulator, _ sim.Params) { k = Attach(s) }
-	o, err := core.Run(cfg)
+	o, err := core.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,12 +153,12 @@ func Differential(cfg core.RunConfig) (*core.Outcome, error) {
 // count. sizes must be ascending. slackPct tolerates the small
 // non-monotonicities a direct-mapped cache can exhibit when the set
 // mapping shifts (0 demands strict monotonicity).
-func Monotonicity(w workload.Name, sys core.System, scale int, seed int64, sizes []uint64, slackPct float64) error {
+func Monotonicity(ctx context.Context, w workload.Name, sys core.System, scale int, seed int64, sizes []uint64, slackPct float64) error {
 	prev := uint64(0)
 	for i, size := range sizes {
 		p := sim.DefaultParams()
 		p.L1D.Size = size
-		o, err := core.Run(core.RunConfig{
+		o, err := core.Run(ctx, core.RunConfig{
 			Workload: w, System: sys, Scale: scale, Seed: seed, Machine: &p,
 		})
 		if err != nil {

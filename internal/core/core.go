@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"oscachesim/internal/kernel"
@@ -167,6 +168,11 @@ type RunConfig struct {
 	// before Run starts, letting callers attach an observer (the
 	// internal/check differential oracle) or inspect the machine.
 	Monitor func(*sim.Simulator, sim.Params)
+	// Progress, when non-nil, receives sampled live counters during the
+	// run (refs processed, OS read misses, global clock) plus the
+	// workload's total reference count, for concurrent progress
+	// reporting. Runtime plumbing: excluded from CanonicalKey.
+	Progress *sim.Progress
 }
 
 // Outcome is the result of one run.
@@ -190,8 +196,9 @@ type Outcome struct {
 // cycles — the quantity every figure normalizes by.
 func (o *Outcome) OSTime() uint64 { return o.Counters.OSTime() }
 
-// Run executes one configuration.
-func Run(cfg RunConfig) (*Outcome, error) {
+// Run executes one configuration. Cancellation of ctx aborts the
+// simulation promptly; the returned error then wraps context.Cause(ctx).
+func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -227,6 +234,10 @@ func Run(cfg RunConfig) (*Outcome, error) {
 		regions := kernel.AddressMap()
 		p.RegionNamer = regions.Name
 	}
+	if cfg.Progress != nil {
+		p.Progress = cfg.Progress
+		cfg.Progress.SetTotalRefs(uint64(built.TotalRefs()))
+	}
 
 	s, err := sim.New(p, built.Sources())
 	if err != nil {
@@ -235,7 +246,7 @@ func Run(cfg RunConfig) (*Outcome, error) {
 	if cfg.Monitor != nil {
 		cfg.Monitor(s, p)
 	}
-	res, err := s.Run()
+	res, err := s.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
 	}
@@ -251,10 +262,10 @@ func Run(cfg RunConfig) (*Outcome, error) {
 
 // RunAll runs one workload under several systems with a shared seed
 // and returns outcomes in order.
-func RunAll(name workload.Name, systems []System, scale int, seed int64) ([]*Outcome, error) {
+func RunAll(ctx context.Context, name workload.Name, systems []System, scale int, seed int64) ([]*Outcome, error) {
 	outs := make([]*Outcome, 0, len(systems))
 	for _, sys := range systems {
-		o, err := Run(RunConfig{Workload: name, System: sys, Scale: scale, Seed: seed})
+		o, err := Run(ctx, RunConfig{Workload: name, System: sys, Scale: scale, Seed: seed})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"oscachesim/internal/sim"
@@ -78,7 +79,7 @@ func TestApplyPerSystem(t *testing.T) {
 }
 
 func TestRunBase(t *testing.T) {
-	o, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
+	o, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -94,11 +95,11 @@ func TestRunBase(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
+	a, err := Run(context.Background(), RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
+	b, err := Run(context.Background(), RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestOptimizationShape(t *testing.T) {
 	outs := map[System]*Outcome{}
 	for _, sys := range Systems() {
-		o, err := Run(RunConfig{Workload: workload.TRFD4, System: sys, Scale: 10, Seed: 1})
+		o, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: sys, Scale: 10, Seed: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", sys, err)
 		}
@@ -147,7 +148,7 @@ func TestOptimizationShape(t *testing.T) {
 }
 
 func TestRunAll(t *testing.T) {
-	outs, err := RunAll(workload.Shell, []System{Base, BlkDma}, testScale, 1)
+	outs, err := RunAll(context.Background(), workload.Shell, []System{Base, BlkDma}, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +160,11 @@ func TestRunAll(t *testing.T) {
 func TestRunCustomMachine(t *testing.T) {
 	p := sim.DefaultParams()
 	p.L1D.Size = 16 * 1024
-	small, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1, Machine: &p})
+	small, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1, Machine: &p})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
+	big, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestRunCustomMachine(t *testing.T) {
 }
 
 func TestRunDeferredCopy(t *testing.T) {
-	o, err := Run(RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 1, DeferredCopy: true})
+	o, err := Run(context.Background(), RunConfig{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 1, DeferredCopy: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +185,11 @@ func TestRunDeferredCopy(t *testing.T) {
 }
 
 func TestRunPureUpdate(t *testing.T) {
-	o, err := Run(RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1, PureUpdate: true})
+	o, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1, PureUpdate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	inval, err := Run(RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1})
+	inval, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: BCohReloc, Scale: testScale, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,11 +205,11 @@ func TestRunPureUpdate(t *testing.T) {
 // must reduce OS misses by more than half and never slow the OS down.
 func TestHeadlineRobustAcrossSeeds(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
-		base, err := Run(RunConfig{Workload: workload.TRFD4, System: Base, Scale: 10, Seed: seed})
+		base, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: Base, Scale: 10, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := Run(RunConfig{Workload: workload.TRFD4, System: BCPref, Scale: 10, Seed: seed})
+		full, err := Run(context.Background(), RunConfig{Workload: workload.TRFD4, System: BCPref, Scale: 10, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}

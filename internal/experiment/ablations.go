@@ -103,9 +103,9 @@ func AblationPrefetchDistance(r *Runner) (string, error) {
 	}
 	bm := float64(base.Counters.OSDReadMisses())
 	for _, dist := range []int{1, 2, 4, 8} {
-		o, err := r.outcome(runKey{w: workload.TRFDMake, sys: core.BlkPref, machine: fmt.Sprintf("prefdist=%d", dist)}, nil, func(cfg *core.RunConfig) {
-			cfg.PrefDist = dist
-		})
+		cfg := r.configFor(workload.TRFDMake, core.BlkPref)
+		cfg.PrefDist = dist
+		o, err := r.OutcomeConfig(r.ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -162,10 +162,14 @@ func AblationUpdateSet(r *Runner) (string, error) {
 	b.WriteString("  set                | OS misses  coherence  bus bytes (vs invalidate)\n")
 	var bm, bc, bt float64
 	for i, sub := range subsets {
-		o, err := r.outcome(runKey{w: workload.TRFD4, sys: core.BCohReloc, machine: "updset=" + sub.name}, nil, func(cfg *core.RunConfig) {
-			set := sub.set
-			cfg.UpdateSet = set
-		})
+		cfg := r.configFor(workload.TRFD4, core.BCohReloc)
+		cfg.UpdateSet = sub.set
+		if len(cfg.UpdateSet) == 0 {
+			// Distinguish "empty set" from "no override" in the key:
+			// a nil UpdateSet means the system's own selection.
+			cfg.UpdateSet = []uint64{}
+		}
+		o, err := r.OutcomeConfig(r.ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -220,8 +224,9 @@ func AblationAssociativity(r *Runner) (string, error) {
 // no relocation. This study prints the eviction census by
 // (evictor, victim) structure pair and checks the same dispersion.
 func ConflictAnalysis(r *Runner) (string, error) {
-	o, err := r.outcome(runKey{w: workload.Shell, sys: core.Base, machine: "conflicts"}, nil,
-		func(cfg *core.RunConfig) { cfg.TrackConflicts = true })
+	cfg := r.configFor(workload.Shell, core.Base)
+	cfg.TrackConflicts = true
+	o, err := r.OutcomeConfig(r.ctx, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -289,7 +294,7 @@ func InstrumentationPerturbation(r *Runner) (string, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.Run()
+		return s.Run(r.ctx)
 	}
 	plain, err := simulate(b.Sources())
 	if err != nil {

@@ -10,6 +10,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -43,89 +44,155 @@ func DefaultConfig() Config { return Config{Scale: 0, Seed: 1, Parallel: true} }
 // under testdata/golden were rendered with exactly this configuration.
 func TestConfig() Config { return Config{Scale: 5, Seed: 1, Parallel: false} }
 
-// runKey identifies a memoized outcome.
-type runKey struct {
-	w        workload.Name
-	sys      core.System
-	deferred bool
-	pureUpd  bool
-	machine  string // geometry signature, "" = default machine
-}
-
-// Runner memoizes simulation outcomes across experiments.
+// Runner memoizes simulation outcomes across experiments. The cache is
+// content-addressed — keyed by core.RunConfig.CanonicalKey, the same
+// hash the ossimd result cache uses — and deduplicates concurrent
+// identical requests with singleflight semantics: when N callers ask
+// for the same key at once, one runs the simulation and the rest wait
+// for its result, so duplicate work is never done regardless of the
+// caller mix (CLI warm-up goroutines, daemon workers).
 type Runner struct {
 	cfg Config
+	ctx context.Context
 
-	mu    sync.Mutex
-	cache map[runKey]*core.Outcome
+	mu       sync.Mutex
+	done     map[string]*core.Outcome
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+// flight is one in-progress simulation; joiners wait on done.
+type flight struct {
+	done chan struct{}
+	o    *core.Outcome
+	err  error
+}
+
+// CacheStats counts the Runner's cache traffic.
+type CacheStats struct {
+	// Hits is the number of requests served from a completed outcome.
+	Hits uint64
+	// Joins is the number of requests that attached to an identical
+	// simulation already in flight (deduplicated work).
+	Joins uint64
+	// Executions is the number of simulations actually run.
+	Executions uint64
+}
+
+// HitRatio returns the fraction of requests that did not execute a
+// simulation (hits and joins over all requests); 0 when idle.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Joins + s.Executions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Joins) / float64(total)
 }
 
 // NewRunner returns a Runner for the given config.
 func NewRunner(cfg Config) *Runner {
+	return NewRunnerContext(context.Background(), cfg)
+}
+
+// NewRunnerContext returns a Runner whose simulations abort when ctx is
+// canceled — the hook that makes Ctrl-C interrupt a sweep or ablation
+// mid-simulation instead of running it to completion.
+func NewRunnerContext(ctx context.Context, cfg Config) *Runner {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	return &Runner{cfg: cfg, cache: make(map[runKey]*core.Outcome)}
+	return &Runner{
+		cfg:      cfg,
+		ctx:      ctx,
+		done:     make(map[string]*core.Outcome),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (r *Runner) Stats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// configFor is the base configuration of one (workload, system) run
+// under the Runner's scale and seed.
+func (r *Runner) configFor(w workload.Name, sys core.System) core.RunConfig {
+	return core.RunConfig{Workload: w, System: sys, Scale: r.cfg.Scale, Seed: r.cfg.Seed}
 }
 
 // Outcome returns the (cached) outcome of a workload under a system on
 // the default machine.
 func (r *Runner) Outcome(w workload.Name, sys core.System) (*core.Outcome, error) {
-	return r.outcome(runKey{w: w, sys: sys}, nil)
+	return r.OutcomeConfig(r.ctx, r.configFor(w, sys))
 }
 
 // OutcomeDeferred returns the outcome with deferred copying enabled.
 func (r *Runner) OutcomeDeferred(w workload.Name, sys core.System) (*core.Outcome, error) {
-	return r.outcome(runKey{w: w, sys: sys, deferred: true}, nil)
+	cfg := r.configFor(w, sys)
+	cfg.DeferredCopy = true
+	return r.OutcomeConfig(r.ctx, cfg)
 }
 
 // OutcomePureUpdate returns the outcome under a machine-wide update
 // protocol.
 func (r *Runner) OutcomePureUpdate(w workload.Name, sys core.System) (*core.Outcome, error) {
-	return r.outcome(runKey{w: w, sys: sys, pureUpd: true}, nil)
+	cfg := r.configFor(w, sys)
+	cfg.PureUpdate = true
+	return r.OutcomeConfig(r.ctx, cfg)
 }
 
 // OutcomeOn returns the outcome on a custom machine geometry.
 func (r *Runner) OutcomeOn(w workload.Name, sys core.System, p sim.Params) (*core.Outcome, error) {
-	// The signature must cover every field a study may sweep.
-	sig := fmt.Sprintf("l1d=%d/%d/%d l1i=%d/%d l2=%d/%d/%d wb=%d/%d lat=%d/%d/%d dma=%d/%d/%d mshr=%d",
-		p.L1D.Size, p.L1D.LineSize, p.L1D.Assoc,
-		p.L1I.Size, p.L1I.LineSize,
-		p.L2.Size, p.L2.LineSize, p.L2.Assoc,
-		p.L1WriteBufDepth, p.L2WriteBufDepth,
-		p.L1HitCycles, p.L2HitCycles, p.MemCycles,
-		p.DMASetupCycles, p.DMACyclesPer8B, p.DMASnoopPenalty,
-		p.MSHREntries)
-	return r.outcome(runKey{w: w, sys: sys, machine: sig}, &p)
+	cfg := r.configFor(w, sys)
+	cfg.Machine = &p
+	return r.OutcomeConfig(r.ctx, cfg)
 }
 
-func (r *Runner) outcome(k runKey, machine *sim.Params, mods ...func(*core.RunConfig)) (*core.Outcome, error) {
+// OutcomeConfig returns the (cached) outcome of an arbitrary
+// configuration. Concurrent calls with equal canonical keys share one
+// simulation. ctx bounds this caller's wait and the simulation itself
+// when this caller starts it; the Runner's own context, if canceled,
+// stops everything.
+//
+// Configurations carrying a Monitor bypass the cache: an attached
+// observer must see a real run.
+func (r *Runner) OutcomeConfig(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+	if cfg.Monitor != nil {
+		return core.Run(ctx, cfg)
+	}
+	key := cfg.CanonicalKey()
 	r.mu.Lock()
-	if o, ok := r.cache[k]; ok {
+	if o, ok := r.done[key]; ok {
+		r.stats.Hits++
 		r.mu.Unlock()
 		return o, nil
 	}
+	if f, ok := r.inflight[key]; ok {
+		r.stats.Joins++
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.o, f.err
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.stats.Executions++
 	r.mu.Unlock()
-	cfg := core.RunConfig{
-		Workload:     k.w,
-		System:       k.sys,
-		Scale:        r.cfg.Scale,
-		Seed:         r.cfg.Seed,
-		Machine:      machine,
-		DeferredCopy: k.deferred,
-		PureUpdate:   k.pureUpd,
-	}
-	for _, mod := range mods {
-		mod(&cfg)
-	}
-	o, err := core.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
+
+	f.o, f.err = core.Run(ctx, cfg)
 	r.mu.Lock()
-	r.cache[k] = o
+	delete(r.inflight, key)
+	if f.err == nil {
+		r.done[key] = f.o
+	}
 	r.mu.Unlock()
-	return o, nil
+	close(f.done)
+	return f.o, f.err
 }
 
 // Pair names one (workload, system) simulation.

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRunRequest drives the /v1/run body decoder with arbitrary
+// bytes. The contract under fuzzing: decodeRunRequest never panics, and
+// every rejection is a *RequestError (the handler's 400 path) — a bare
+// error would surface as a 500 for what is always a client problem.
+// Accepted bodies must round-trip into a configuration whose machine,
+// if overridden, passed sim.Params.Validate, so a fuzz-crafted geometry
+// can never reach the simulator.
+func FuzzDecodeRunRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"workload":"TRFD_4","system":"Base"}`,
+		`{"workload":"TRFD_4","system":"Base","scale":2,"seed":7}`,
+		`{"workload":"TRFD+Make","system":"Blk_Dma","deferred_copy":true}`,
+		`{"workload":"TRFD_4","system":"BCoh_RelUp","pure_update":true,"timeout_ms":1000}`,
+		`{"workload":"TRFD_4","system":"Base","machine":{"l1d_size_kb":32,"l1d_line":64,"l2_line":64}}`,
+		`{"workload":"TRFD_4","system":"Base","machine":{"num_cpus":8,"mshr":4,"mem_cycles":50}}`,
+		`{"workload":"nope","system":"Base"}`,
+		`{"workload":"TRFD_4","system":"Base","scale":-1}`,
+		`{"workload":"TRFD_4","system":"Base","machine":{"l1d_line":24}}`,
+		`{"workload":"TRFD_4","system":"Base","bogus":true}`,
+		`{"workload":"TRFD_4","system":"Base"} trailing`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"workload":"TRFD_4","system":"Base","machine":{"l1d_size_kb":18446744073709551615}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, rr, err := decodeRunRequest(bytes.NewReader(data))
+		if err != nil {
+			if !isRequestError(err) {
+				t.Fatalf("decode error is not a RequestError: %T %v", err, err)
+			}
+			return
+		}
+		if rr == nil {
+			t.Fatal("accepted body returned nil request")
+		}
+		// An accepted configuration is fully validated: the workload and
+		// system parse, the scale is bounded, and any machine override
+		// satisfies the simulator's own invariants.
+		if cfg.Scale < 0 || cfg.Scale > maxScale {
+			t.Fatalf("accepted scale %d out of range", cfg.Scale)
+		}
+		if cfg.Seed < 0 {
+			t.Fatalf("accepted negative seed %d", cfg.Seed)
+		}
+		if cfg.Machine != nil {
+			if verr := cfg.Machine.Validate(); verr != nil {
+				t.Fatalf("accepted invalid machine: %v", verr)
+			}
+		}
+		// The canonical key must be computable for anything accepted —
+		// it is the job's identity.
+		if key := cfg.CanonicalKey(); len(key) != 64 {
+			t.Fatalf("canonical key %q is not a sha256 hex digest", key)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/stats"
+	"oscachesim/internal/workload"
+)
+
+// cpuHz is the simulated clock rate (the paper's 200-MHz processors);
+// it converts simulated cycles to sim-seconds for the metrics.
+const cpuHz = 200e6
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is simulating.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result is set.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error; Error is set.
+	JobFailed JobState = "failed"
+	// JobCanceled: drained from the queue at shutdown before a worker
+	// picked it up.
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one unit of queued simulation work: a single run or a whole
+// sweep grid. A job is created by an accepted POST, executed by exactly
+// one worker, and observed concurrently by status and stream handlers.
+type Job struct {
+	// Immutable after creation.
+	ID      string
+	Kind    string // "run" or "sweep"
+	Key     string // canonical content address (deduplication key)
+	Timeout time.Duration
+	Request any          // the decoded request body, echoed in status
+	Cfg     core.RunConfig
+	Points  []sweepPoint // sweep grid (Kind == "sweep")
+
+	// Progress feeds are written by the simulation and read locklessly
+	// by the stream handler.
+	Progress *sim.Progress
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu         sync.Mutex
+	state      JobState
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	err        string
+	result     *RunResult
+	sweep      *SweepResult
+	pointsDone int
+}
+
+// newJob builds a queued job.
+func newJob(id, kind, key string, timeout time.Duration) *Job {
+	return &Job{
+		ID:       id,
+		Kind:     kind,
+		Key:      key,
+		Timeout:  timeout,
+		Progress: &sim.Progress{},
+		done:     make(chan struct{}),
+		state:    JobQueued,
+		created:  time.Now(),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setRunning marks the job running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finishRun completes a run job.
+func (j *Job) finishRun(res *RunResult, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// finishSweep completes a sweep job.
+func (j *Job) finishSweep(res *SweepResult, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+		j.sweep = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cancel marks a queued job canceled (shutdown drain).
+func (j *Job) cancel(reason string) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.state = JobCanceled
+	j.err = reason
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// pointFinished advances the sweep progress counter.
+func (j *Job) pointFinished() {
+	j.mu.Lock()
+	j.pointsDone++
+	j.mu.Unlock()
+}
+
+// RunResult is the JSON summary of one completed simulation.
+type RunResult struct {
+	Workload        string  `json:"workload"`
+	System          string  `json:"system"`
+	Refs            uint64  `json:"refs"`
+	Cycles          uint64  `json:"cycles"`
+	OSCycles        uint64  `json:"os_cycles"`
+	OSTimeShare     float64 `json:"os_time_share"`
+	DReads          uint64  `json:"d_reads"`
+	DReadMisses     uint64  `json:"d_read_misses"`
+	D1MissRate      float64 `json:"d1_miss_rate"`
+	OSReadMisses    uint64  `json:"os_read_misses"`
+	BusTransactions uint64  `json:"bus_transactions"`
+	BusBytes        uint64  `json:"bus_bytes"`
+	SimSeconds      float64 `json:"sim_seconds"`
+}
+
+// summarize renders an outcome as the API's result payload.
+func summarize(o *core.Outcome) *RunResult {
+	c := o.Counters
+	return &RunResult{
+		Workload:        string(o.Config.Workload),
+		System:          o.Config.System.String(),
+		Refs:            o.Refs,
+		Cycles:          c.Cycles,
+		OSCycles:        c.OSTime(),
+		OSTimeShare:     stats.Ratio(c.OSTime(), c.TotalTime()),
+		DReads:          c.TotalDReads(),
+		DReadMisses:     c.TotalDReadMisses(),
+		D1MissRate:      c.D1MissRate(),
+		OSReadMisses:    c.OSDReadMisses(),
+		BusTransactions: c.Bus.TotalTransactions(),
+		BusBytes:        c.Bus.TotalBytes(),
+		SimSeconds:      float64(c.Cycles) / cpuHz,
+	}
+}
+
+// SweepPointResult is one cell of a sweep result.
+type SweepPointResult struct {
+	Label  string     `json:"label"`
+	System string     `json:"system"`
+	Result *RunResult `json:"result"`
+}
+
+// SweepResult is the JSON result of a sweep job.
+type SweepResult struct {
+	Workload string             `json:"workload"`
+	Points   []SweepPointResult `json:"points"`
+}
+
+// ProgressView is the progress section of a job's JSON view.
+type ProgressView struct {
+	Refs         uint64  `json:"refs"`
+	TotalRefs    uint64  `json:"total_refs"`
+	Fraction     float64 `json:"fraction"`
+	RoundsDone   int     `json:"rounds_done"`
+	RoundsTotal  int     `json:"rounds_total"`
+	OSReadMisses uint64  `json:"os_read_misses"`
+	Cycles       uint64  `json:"cycles"`
+	PointsDone   int     `json:"points_done,omitempty"`
+	PointsTotal  int     `json:"points_total,omitempty"`
+}
+
+// JobView is the JSON rendering of a job returned by the status,
+// submit and stream endpoints.
+type JobView struct {
+	ID         string        `json:"id"`
+	Kind       string        `json:"kind"`
+	State      JobState      `json:"state"`
+	Deduped    bool          `json:"deduped,omitempty"`
+	Key        string        `json:"key"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+	Request    any           `json:"request,omitempty"`
+	Progress   *ProgressView `json:"progress,omitempty"`
+	Result     *RunResult    `json:"result,omitempty"`
+	Sweep      *SweepResult  `json:"sweep,omitempty"`
+	Error      string        `json:"error,omitempty"`
+}
+
+// roundsTotal resolves the effective scheduling-round count of a run
+// configuration (0 means the workload default).
+func roundsTotal(cfg core.RunConfig) int {
+	if cfg.Scale > 0 {
+		return cfg.Scale
+	}
+	return workload.DefaultScale
+}
+
+// view renders the job's current state.
+func (j *Job) view(deduped bool) *JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := &JobView{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     j.state,
+		Deduped:   deduped,
+		Key:       j.Key,
+		CreatedAt: j.created,
+		Request:   j.Request,
+		Result:    j.result,
+		Sweep:     j.sweep,
+		Error:     j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	snap := j.Progress.Snapshot()
+	rt := roundsTotal(j.Cfg)
+	pv := &ProgressView{
+		Refs:         snap.Refs,
+		TotalRefs:    snap.TotalRefs,
+		Fraction:     snap.Fraction(),
+		RoundsTotal:  rt,
+		OSReadMisses: snap.OSReadMisses,
+		Cycles:       snap.Cycles,
+	}
+	if j.state == JobDone {
+		pv.Fraction = 1
+	}
+	pv.RoundsDone = int(pv.Fraction * float64(rt))
+	if j.Kind == "sweep" {
+		pv.PointsDone = j.pointsDone
+		pv.PointsTotal = len(j.Points)
+		if n := len(j.Points); n > 0 {
+			pv.Fraction = float64(j.pointsDone) / float64(n)
+			if j.state == JobDone {
+				pv.Fraction = 1
+			}
+		}
+	}
+	v.Progress = pv
+	return v
+}
+
+// simSeconds returns the simulated seconds a finished job served.
+func (j *Job) simSeconds() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.result != nil:
+		return j.result.SimSeconds
+	case j.sweep != nil:
+		var s float64
+		for _, p := range j.sweep.Points {
+			s += p.Result.SimSeconds
+		}
+		return s
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// metrics is the daemon's observability surface, built on expvar types
+// but registered in a per-server map rather than the process-global
+// expvar registry (expvar.Publish panics on duplicate names, which
+// would forbid a second Server in one process — the test suite runs
+// many). GET /metrics renders the map in expvar's JSON format.
+//
+// Exposed vars:
+//
+//	queue_depth        current FIFO occupancy
+//	queue_capacity     configured queue bound
+//	workers            worker-pool size
+//	jobs_queued        jobs accepted into the queue (cumulative)
+//	jobs_running       jobs currently simulating
+//	jobs_done          jobs finished successfully (cumulative)
+//	jobs_failed        jobs finished with an error (cumulative)
+//	jobs_canceled      jobs canceled by drain (cumulative)
+//	jobs_deduped       POSTs answered by an existing job (cumulative)
+//	jobs_rejected      POSTs answered 429 (cumulative)
+//	cache_hits         result-cache hits: deduped POSTs + runner hits/joins
+//	cache_misses       simulations actually executed by the runner
+//	cache_hit_ratio    hits / (hits + misses), 0 when idle
+//	sim_seconds_served total simulated seconds of completed jobs
+type metrics struct {
+	srv *Server
+	m   *expvar.Map
+
+	queued, running, done, failed, canceled expvar.Int
+	deduped, rejected                       expvar.Int
+
+	mu         sync.Mutex
+	simSeconds expvar.Float
+}
+
+func newMetrics(s *Server) *metrics {
+	mt := &metrics{srv: s, m: new(expvar.Map).Init()}
+	mt.m.Set("queue_depth", expvar.Func(func() any { return len(s.queue) }))
+	mt.m.Set("queue_capacity", expvar.Func(func() any { return cap(s.queue) }))
+	mt.m.Set("workers", expvar.Func(func() any { return s.opts.Workers }))
+	mt.m.Set("jobs_queued", &mt.queued)
+	mt.m.Set("jobs_running", &mt.running)
+	mt.m.Set("jobs_done", &mt.done)
+	mt.m.Set("jobs_failed", &mt.failed)
+	mt.m.Set("jobs_canceled", &mt.canceled)
+	mt.m.Set("jobs_deduped", &mt.deduped)
+	mt.m.Set("jobs_rejected", &mt.rejected)
+	mt.m.Set("cache_hits", expvar.Func(func() any { return mt.cacheHits() }))
+	mt.m.Set("cache_misses", expvar.Func(func() any { return s.runner.Stats().Executions }))
+	mt.m.Set("cache_hit_ratio", expvar.Func(func() any { return mt.hitRatio() }))
+	mt.m.Set("sim_seconds_served", &mt.simSeconds)
+	return mt
+}
+
+// cacheHits counts every request for simulation work that was answered
+// without running one: POSTs deduplicated onto a live or finished job,
+// plus the runner's own memoization hits and singleflight joins.
+func (mt *metrics) cacheHits() uint64 {
+	st := mt.srv.runner.Stats()
+	return uint64(mt.deduped.Value()) + st.Hits + st.Joins
+}
+
+func (mt *metrics) hitRatio() float64 {
+	hits := float64(mt.cacheHits())
+	misses := float64(mt.srv.runner.Stats().Executions)
+	if hits+misses == 0 {
+		return 0.0
+	}
+	return hits / (hits + misses)
+}
+
+func (mt *metrics) jobQueued()  { mt.queued.Add(1) }
+func (mt *metrics) dedupHit()   { mt.deduped.Add(1) }
+func (mt *metrics) rejectedHit() { mt.rejected.Add(1) }
+func (mt *metrics) jobStarted() { mt.running.Add(1) }
+
+func (mt *metrics) jobFinished(j *Job) {
+	switch j.State() {
+	case JobDone:
+		mt.running.Add(-1)
+		mt.done.Add(1)
+		mt.mu.Lock()
+		mt.simSeconds.Set(mt.simSeconds.Value() + j.simSeconds())
+		mt.mu.Unlock()
+	case JobFailed:
+		mt.running.Add(-1)
+		mt.failed.Add(1)
+	case JobCanceled:
+		// Canceled jobs never started.
+		mt.canceled.Add(1)
+	}
+}
+
+// handler serves GET /metrics in expvar's JSON rendering.
+func (mt *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte("{"))
+	first := true
+	mt.m.Do(func(kv expvar.KeyValue) {
+		if !first {
+			w.Write([]byte(",\n"))
+		}
+		first = false
+		w.Write([]byte("\"" + kv.Key + "\": " + kv.Value.String()))
+	})
+	w.Write([]byte("}\n"))
+}

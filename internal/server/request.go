@@ -1,0 +1,380 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// This file is the daemon's external input surface: the JSON request
+// bodies of POST /v1/run and POST /v1/sweep, their decoding, and the
+// validation that turns them into core.RunConfig values. Everything
+// here must hold up under arbitrary bytes — the fuzz target
+// FuzzDecodeRunRequest drives decodeRunRequest with adversarial input
+// and requires a clean *RequestError (never a panic, never an
+// unvalidated configuration).
+
+// Request size and parameter bounds. They exist to keep one request
+// from monopolizing the daemon: a simulated cache's line array is
+// allocated eagerly, and scale multiplies trace length.
+const (
+	// maxBodyBytes bounds a request body.
+	maxBodyBytes = 1 << 20
+	// maxCacheKB bounds any requested cache size (16 MB).
+	maxCacheKB = 16 * 1024
+	// maxLineBytes bounds a requested line size.
+	maxLineBytes = 1024
+	// maxAssoc bounds requested associativity.
+	maxAssoc = 64
+	// maxScale bounds requested scheduling rounds per workload.
+	maxScale = 1000
+	// maxSweepPoints bounds the grid of one sweep job.
+	maxSweepPoints = 64
+	// maxSweepSystems bounds the systems compared per sweep point.
+	maxSweepSystems = 8
+)
+
+// RequestError is a client error: the request could not be decoded or
+// describes an invalid simulation. Handlers map it to 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func reqErrf(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// MachineRequest optionally overrides the paper's machine geometry.
+// All fields are pointers so "absent" and "zero" are distinguishable;
+// absent fields keep the default machine's values.
+type MachineRequest struct {
+	NumCPUs    *int    `json:"num_cpus,omitempty"`
+	L1DSizeKB  *uint64 `json:"l1d_size_kb,omitempty"`
+	L1DLine    *uint64 `json:"l1d_line,omitempty"`
+	L1DAssoc   *int    `json:"l1d_assoc,omitempty"`
+	L1ISizeKB  *uint64 `json:"l1i_size_kb,omitempty"`
+	L1ILine    *uint64 `json:"l1i_line,omitempty"`
+	L2SizeKB   *uint64 `json:"l2_size_kb,omitempty"`
+	L2Line     *uint64 `json:"l2_line,omitempty"`
+	L2Assoc    *int    `json:"l2_assoc,omitempty"`
+	MSHR       *int    `json:"mshr,omitempty"`
+	L1WBDepth  *int    `json:"l1_wb_depth,omitempty"`
+	L2WBDepth  *int    `json:"l2_wb_depth,omitempty"`
+	MemCycles  *uint64 `json:"mem_cycles,omitempty"`
+	DMAPer8B   *uint64 `json:"dma_cycles_per_8b,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Workload     string          `json:"workload"`
+	System       string          `json:"system"`
+	Scale        int             `json:"scale,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	DeferredCopy bool            `json:"deferred_copy,omitempty"`
+	PureUpdate   bool            `json:"pure_update,omitempty"`
+	Machine      *MachineRequest `json:"machine,omitempty"`
+	// TimeoutMS optionally tightens the server's per-job deadline; it
+	// can never extend it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: one workload simulated
+// under each system at each grid point. Exactly one of SizesKB and
+// LineSizes must be set.
+type SweepRequest struct {
+	Workload  string   `json:"workload"`
+	Systems   []string `json:"systems"`
+	SizesKB   []uint64 `json:"sizes_kb,omitempty"`
+	LineSizes []uint64 `json:"line_sizes,omitempty"`
+	// L2Line is the L2 line size during a line-size sweep (default 32,
+	// raised to the swept L1 line when smaller).
+	L2Line    uint64 `json:"l2_line,omitempty"`
+	Scale     int    `json:"scale,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// decodeJSON strictly decodes one JSON document from r into v:
+// unknown fields and trailing garbage are errors.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return reqErrf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return reqErrf("bad request body: trailing data after JSON document")
+	}
+	return nil
+}
+
+// decodeRunRequest decodes and fully validates a /v1/run body,
+// returning the simulation configuration it describes. The returned
+// config always passes sim.Params.Validate. All failures are
+// *RequestError values.
+func decodeRunRequest(r io.Reader) (core.RunConfig, *RunRequest, error) {
+	var rr RunRequest
+	if err := decodeJSON(r, &rr); err != nil {
+		return core.RunConfig{}, nil, err
+	}
+	cfg, err := rr.toConfig()
+	if err != nil {
+		return core.RunConfig{}, nil, err
+	}
+	return cfg, &rr, nil
+}
+
+// toConfig validates the request and builds the run configuration.
+func (rr *RunRequest) toConfig() (core.RunConfig, error) {
+	var cfg core.RunConfig
+	w, err := workload.ParseName(rr.Workload)
+	if err != nil {
+		return cfg, reqErrf("%v", err)
+	}
+	sys, err := core.ParseSystem(rr.System)
+	if err != nil {
+		return cfg, reqErrf("%v", err)
+	}
+	if rr.Scale < 0 || rr.Scale > maxScale {
+		return cfg, reqErrf("scale %d out of range [0, %d]", rr.Scale, maxScale)
+	}
+	if rr.Seed < 0 {
+		return cfg, reqErrf("seed %d must be non-negative", rr.Seed)
+	}
+	if rr.TimeoutMS < 0 {
+		return cfg, reqErrf("timeout_ms %d must be non-negative", rr.TimeoutMS)
+	}
+	cfg = core.RunConfig{
+		Workload:     w,
+		System:       sys,
+		Scale:        rr.Scale,
+		Seed:         rr.Seed,
+		DeferredCopy: rr.DeferredCopy,
+		PureUpdate:   rr.PureUpdate,
+	}
+	if rr.Machine != nil {
+		p, err := rr.Machine.toParams()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Machine = p
+	}
+	return cfg, nil
+}
+
+// timeout returns the request's effective deadline under the server
+// maximum.
+func (rr *RunRequest) timeout(serverMax time.Duration) time.Duration {
+	return clampTimeout(rr.TimeoutMS, serverMax)
+}
+
+func clampTimeout(ms int64, serverMax time.Duration) time.Duration {
+	if ms <= 0 {
+		return serverMax
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > serverMax {
+		return serverMax
+	}
+	return d
+}
+
+// toParams applies the overrides to the default machine and validates
+// the result.
+func (m *MachineRequest) toParams() (*sim.Params, error) {
+	p := sim.DefaultParams()
+	setSize := func(dst *uint64, kb *uint64, what string) error {
+		if kb == nil {
+			return nil
+		}
+		if *kb == 0 || *kb > maxCacheKB {
+			return reqErrf("%s %d KB out of range [1, %d]", what, *kb, maxCacheKB)
+		}
+		*dst = *kb * 1024
+		return nil
+	}
+	setLine := func(dst *uint64, line *uint64, what string) error {
+		if line == nil {
+			return nil
+		}
+		if *line == 0 || *line > maxLineBytes {
+			return reqErrf("%s %d out of range [1, %d]", what, *line, maxLineBytes)
+		}
+		*dst = *line
+		return nil
+	}
+	setAssoc := func(dst *int, a *int, what string) error {
+		if a == nil {
+			return nil
+		}
+		if *a <= 0 || *a > maxAssoc {
+			return reqErrf("%s %d out of range [1, %d]", what, *a, maxAssoc)
+		}
+		*dst = *a
+		return nil
+	}
+	steps := []error{
+		setSize(&p.L1D.Size, m.L1DSizeKB, "l1d_size_kb"),
+		setLine(&p.L1D.LineSize, m.L1DLine, "l1d_line"),
+		setAssoc(&p.L1D.Assoc, m.L1DAssoc, "l1d_assoc"),
+		setSize(&p.L1I.Size, m.L1ISizeKB, "l1i_size_kb"),
+		setLine(&p.L1I.LineSize, m.L1ILine, "l1i_line"),
+		setSize(&p.L2.Size, m.L2SizeKB, "l2_size_kb"),
+		setLine(&p.L2.LineSize, m.L2Line, "l2_line"),
+		setAssoc(&p.L2.Assoc, m.L2Assoc, "l2_assoc"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if m.NumCPUs != nil {
+		p.NumCPUs = *m.NumCPUs
+	}
+	if m.MSHR != nil {
+		p.MSHREntries = *m.MSHR
+	}
+	if m.L1WBDepth != nil {
+		p.L1WriteBufDepth = *m.L1WBDepth
+	}
+	if m.L2WBDepth != nil {
+		p.L2WriteBufDepth = *m.L2WBDepth
+	}
+	if m.MemCycles != nil {
+		if *m.MemCycles == 0 || *m.MemCycles > 1<<20 {
+			return nil, reqErrf("mem_cycles %d out of range", *m.MemCycles)
+		}
+		p.MemCycles = *m.MemCycles
+	}
+	if m.DMAPer8B != nil {
+		if *m.DMAPer8B == 0 || *m.DMAPer8B > 1<<20 {
+			return nil, reqErrf("dma_cycles_per_8b %d out of range", *m.DMAPer8B)
+		}
+		p.DMACyclesPer8B = *m.DMAPer8B
+	}
+	if err := p.Validate(); err != nil {
+		return nil, reqErrf("invalid machine: %v", err)
+	}
+	return &p, nil
+}
+
+// sweepPoint is one (geometry, system) cell of a sweep grid.
+type sweepPoint struct {
+	Label  string
+	System core.System
+	Cfg    core.RunConfig
+}
+
+// decodeSweepRequest decodes and validates a /v1/sweep body and
+// expands it into the grid of runs it describes.
+func decodeSweepRequest(r io.Reader) ([]sweepPoint, *SweepRequest, error) {
+	var sr SweepRequest
+	if err := decodeJSON(r, &sr); err != nil {
+		return nil, nil, err
+	}
+	points, err := sr.expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	return points, &sr, nil
+}
+
+// expand validates the sweep and produces its grid.
+func (sr *SweepRequest) expand() ([]sweepPoint, error) {
+	w, err := workload.ParseName(sr.Workload)
+	if err != nil {
+		return nil, reqErrf("%v", err)
+	}
+	if len(sr.Systems) == 0 {
+		return nil, reqErrf("sweep needs at least one system")
+	}
+	if len(sr.Systems) > maxSweepSystems {
+		return nil, reqErrf("sweep of %d systems exceeds the maximum %d", len(sr.Systems), maxSweepSystems)
+	}
+	if (len(sr.SizesKB) == 0) == (len(sr.LineSizes) == 0) {
+		return nil, reqErrf("pass exactly one of sizes_kb or line_sizes")
+	}
+	if sr.Scale < 0 || sr.Scale > maxScale {
+		return nil, reqErrf("scale %d out of range [0, %d]", sr.Scale, maxScale)
+	}
+	if sr.Seed < 0 {
+		return nil, reqErrf("seed %d must be non-negative", sr.Seed)
+	}
+	if sr.TimeoutMS < 0 {
+		return nil, reqErrf("timeout_ms %d must be non-negative", sr.TimeoutMS)
+	}
+	var systems []core.System
+	for _, name := range sr.Systems {
+		sys, err := core.ParseSystem(name)
+		if err != nil {
+			return nil, reqErrf("%v", err)
+		}
+		systems = append(systems, sys)
+	}
+
+	type geo struct {
+		label string
+		p     *sim.Params
+	}
+	var grid []geo
+	for _, kb := range sr.SizesKB {
+		if kb == 0 || kb > maxCacheKB {
+			return nil, reqErrf("sizes_kb value %d out of range [1, %d]", kb, maxCacheKB)
+		}
+		p := sim.DefaultParams()
+		p.L1D.Size = kb * 1024
+		if err := p.Validate(); err != nil {
+			return nil, reqErrf("invalid geometry %dKB: %v", kb, err)
+		}
+		grid = append(grid, geo{fmt.Sprintf("%dKB", kb), &p})
+	}
+	for _, line := range sr.LineSizes {
+		if line == 0 || line > maxLineBytes {
+			return nil, reqErrf("line_sizes value %d out of range [1, %d]", line, maxLineBytes)
+		}
+		p := sim.DefaultParams()
+		p.L1D.LineSize = line
+		p.L1I.LineSize = line
+		p.L2.LineSize = sr.L2Line
+		if p.L2.LineSize == 0 {
+			p.L2.LineSize = 32
+		}
+		if p.L2.LineSize < line {
+			p.L2.LineSize = line
+		}
+		if err := p.Validate(); err != nil {
+			return nil, reqErrf("invalid geometry %dB lines: %v", line, err)
+		}
+		grid = append(grid, geo{fmt.Sprintf("%dB", line), &p})
+	}
+	if len(grid)*len(systems) > maxSweepPoints {
+		return nil, reqErrf("sweep of %d points exceeds the maximum %d", len(grid)*len(systems), maxSweepPoints)
+	}
+
+	var points []sweepPoint
+	for _, g := range grid {
+		for _, sys := range systems {
+			machine := *g.p
+			points = append(points, sweepPoint{
+				Label:  g.label,
+				System: sys,
+				Cfg: core.RunConfig{
+					Workload: w, System: sys, Scale: sr.Scale, Seed: sr.Seed, Machine: &machine,
+				},
+			})
+		}
+	}
+	return points, nil
+}
+
+// isRequestError reports whether err is a client error.
+func isRequestError(err error) bool {
+	var re *RequestError
+	return errors.As(err, &re)
+}

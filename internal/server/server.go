@@ -1,0 +1,406 @@
+// Package server is the ossimd simulation service: an HTTP JSON API
+// that runs simulations as jobs on a bounded worker pool with a FIFO
+// queue, explicit backpressure, per-job deadlines and graceful drain.
+//
+// The paper's lesson — remove redundant memory traffic — applied one
+// level up: simulation results are served from a content-addressed
+// cache keyed by core.RunConfig.CanonicalKey (configuration + machine
+// + simulator version), and identical concurrent requests are
+// deduplicated at two layers. The server maps each canonical key to at
+// most one live job, so N identical POSTs share one queue slot; the
+// experiment.Runner underneath singleflights any remaining duplicate
+// computation and memoizes outcomes. N concurrent identical requests
+// therefore cost exactly one simulation.
+//
+// Endpoints:
+//
+//	POST /v1/run            submit one simulation            -> JobView
+//	POST /v1/sweep          submit a geometry/system grid    -> JobView
+//	GET  /v1/jobs/{id}      job status, progress and result  -> JobView
+//	GET  /v1/jobs/{id}/stream  NDJSON progress frames, then the final view
+//	GET  /healthz           liveness and drain state
+//	GET  /metrics           expvar counters (queue, cache, jobs, sim-seconds)
+//
+// A full queue answers 429 with Retry-After; a draining server answers
+// 503. Drain stops intake, cancels queued jobs, and waits for running
+// simulations to finish.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/experiment"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size (default 4).
+	Workers int
+	// QueueDepth is the FIFO queue capacity (default 64). A POST that
+	// finds the queue full is answered 429 + Retry-After.
+	QueueDepth int
+	// JobTimeout is the per-job deadline (default 5m). Requests may
+	// tighten it per job, never extend it.
+	JobTimeout time.Duration
+	// StreamInterval is the NDJSON progress frame period (default 250ms).
+	StreamInterval time.Duration
+	// Runner, when non-nil, is the shared memoizing runner to execute
+	// on; nil builds a private one. Sharing a Runner shares its
+	// content-addressed result cache.
+	Runner *experiment.Runner
+
+	// execute, when non-nil, replaces the simulation call — test
+	// seam for deterministic queue-full and drain scenarios.
+	execute func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error)
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 5 * time.Minute
+	}
+	if o.StreamInterval <= 0 {
+		o.StreamInterval = 250 * time.Millisecond
+	}
+	if o.Runner == nil {
+		o.Runner = experiment.NewRunner(experiment.Config{Seed: 1})
+	}
+	return o
+}
+
+// Server is the simulation daemon. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	opts    Options
+	runner  *experiment.Runner
+	metrics *metrics
+
+	queue chan *Job
+	wg    sync.WaitGroup // workers
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*Job // id -> job
+	byKey    map[string]*Job // canonical key -> job (dedup layer)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		runner:  opts.Runner,
+		queue:   make(chan *Job, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+	}
+	s.metrics = newMetrics(s)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.metrics.handler)
+	return mux
+}
+
+// Drain gracefully shuts the server down: intake stops (new POSTs get
+// 503), jobs still queued are canceled, and running simulations finish
+// before Drain returns. ctx bounds the wait; on expiry the remaining
+// simulations are abandoned (the process is exiting anyway) and ctx's
+// error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	// Safe to close under the lock: every send is also under the lock
+	// and re-checks draining first.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// worker executes jobs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		if s.isDraining() {
+			// Queued at shutdown: cancel instead of starting a
+			// potentially long simulation.
+			s.finalizeCanceled(job, "server draining")
+			continue
+		}
+		s.execute(job)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// execute runs one job to a terminal state.
+func (s *Server) execute(job *Job) {
+	job.setRunning()
+	s.metrics.jobStarted()
+	ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
+	defer cancel()
+
+	switch job.Kind {
+	case "run":
+		cfg := job.Cfg
+		cfg.Progress = job.Progress
+		o, err := s.run(ctx, cfg)
+		var res *RunResult
+		if err == nil {
+			res = summarize(o)
+		}
+		s.finalize(job, func() { job.finishRun(res, err) }, err)
+	case "sweep":
+		res := &SweepResult{Workload: string(job.Points[0].Cfg.Workload)}
+		var err error
+		for _, pt := range job.Points {
+			var o *core.Outcome
+			o, err = s.run(ctx, pt.Cfg)
+			if err != nil {
+				break
+			}
+			res.Points = append(res.Points, SweepPointResult{
+				Label:  pt.Label,
+				System: pt.System.String(),
+				Result: summarize(o),
+			})
+			job.pointFinished()
+		}
+		if err != nil {
+			res = nil
+		}
+		s.finalize(job, func() { job.finishSweep(res, err) }, err)
+	}
+}
+
+// run invokes the shared memoizing runner (or the test seam).
+func (s *Server) run(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+	if s.opts.execute != nil {
+		return s.opts.execute(ctx, cfg)
+	}
+	return s.runner.OutcomeConfig(ctx, cfg)
+}
+
+// finalize applies a job's terminal transition and maintains the dedup
+// index: a failed job is removed from byKey so a retry of the same
+// configuration runs again instead of being deduplicated onto the
+// failure.
+func (s *Server) finalize(job *Job, transition func(), err error) {
+	transition()
+	s.mu.Lock()
+	if err != nil && s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+	s.metrics.jobFinished(job)
+}
+
+// finalizeCanceled cancels a job drained from the queue.
+func (s *Server) finalizeCanceled(job *Job, reason string) {
+	job.cancel(reason)
+	s.mu.Lock()
+	if s.byKey[job.Key] == job {
+		delete(s.byKey, job.Key)
+	}
+	s.mu.Unlock()
+	s.metrics.jobFinished(job)
+}
+
+// submit registers and enqueues a job, deduplicating by canonical key.
+// It returns the job that represents the request (possibly an existing
+// one), whether it was deduplicated, and an error when the queue is
+// full or the server is draining.
+var (
+	errQueueFull = errors.New("queue full")
+	errDraining  = errors.New("server draining")
+)
+
+func (s *Server) submit(job *Job) (*Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, errDraining
+	}
+	if existing, ok := s.byKey[job.Key]; ok {
+		// Identical configuration already queued, running or done:
+		// this request costs nothing.
+		s.metrics.dedupHit()
+		return existing, true, nil
+	}
+	// Identity and indexes are fixed before the queue send makes the
+	// job visible to workers.
+	s.seq++
+	job.ID = fmt.Sprintf("j-%06d", s.seq)
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.rejectedHit()
+		return nil, false, errQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.byKey[job.Key] = job
+	s.metrics.jobQueued()
+	return job, false, nil
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// --- HTTP handlers ---------------------------------------------------
+
+// handleRun accepts one simulation.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	cfg, rr, err := decodeRunRequest(r.Body)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	job := newJob("", "run", cfg.CanonicalKey(), rr.timeout(s.opts.JobTimeout))
+	job.Cfg = cfg
+	job.Request = rr
+	s.respondSubmit(w, job)
+}
+
+// handleSweep accepts a sweep grid as one job.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	points, sr, err := decodeSweepRequest(r.Body)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	// The sweep's content address is the ordered hash of its points'.
+	key := "sweep:" + sweepKey(points)
+	job := newJob("", "sweep", key, clampTimeout(sr.TimeoutMS, s.opts.JobTimeout))
+	job.Points = points
+	job.Cfg = points[0].Cfg
+	job.Request = sr
+	s.respondSubmit(w, job)
+}
+
+// sweepKey hashes a grid's canonical keys in order. Each point key
+// already embeds core.SimVersion, so the sweep address also rolls over
+// on simulator changes.
+func sweepKey(points []sweepPoint) string {
+	h := sha256.New()
+	for _, pt := range points {
+		io.WriteString(h, pt.Cfg.CanonicalKey())
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// respondSubmit runs the shared submit path and writes the response.
+func (s *Server) respondSubmit(w http.ResponseWriter, job *Job) {
+	got, deduped, err := s.submit(job)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "queue full, retry later",
+		})
+		return
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "server draining",
+		})
+		return
+	}
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, got.view(deduped))
+}
+
+// handleJob reports one job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.view(false))
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": draining,
+		"version":  core.SimVersion,
+	})
+}
+
+// clientError writes a 400 for request errors, 500 otherwise.
+func (s *Server) clientError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if isRequestError(err) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oscachesim/internal/core"
+)
+
+// testScale keeps simulations fast: two scheduling rounds.
+const testScale = 2
+
+// newTestServer builds a Server plus an httptest front end and tears
+// both down at cleanup.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.StreamInterval == 0 {
+		opts.StreamInterval = 20 * time.Millisecond
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain at cleanup: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// runBody renders a /v1/run body.
+func runBody(seed int64) string {
+	return fmt.Sprintf(`{"workload":"TRFD_4","system":"Base","scale":%d,"seed":%d}`, testScale, seed)
+}
+
+// postJSON posts a body and decodes the response.
+func postJSON(t *testing.T, url, body string) (int, *JobView, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("bad JobView %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, &v, resp.Header
+}
+
+// getJob fetches one job view.
+func getJob(t *testing.T, base, id string) *JobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: HTTP %d", resp.StatusCode)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job view: %v", err)
+	}
+	return &v
+}
+
+// waitJob polls until the job is terminal.
+func waitJob(t *testing.T, base, id string) *JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v := getJob(t, base, id)
+		if v.State.terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 60s", id, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	status, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", status)
+	}
+	if sub.ID == "" || sub.Kind != "run" {
+		t.Fatalf("bad submit view: %+v", sub)
+	}
+	v := waitJob(t, ts.URL, sub.ID)
+	if v.State != JobDone {
+		t.Fatalf("job finished %s (error %q), want done", v.State, v.Error)
+	}
+	r := v.Result
+	if r == nil {
+		t.Fatal("done job has no result")
+	}
+	if r.Workload != "TRFD_4" || r.System != "Base" {
+		t.Errorf("result identity %s/%s", r.Workload, r.System)
+	}
+	if r.Refs == 0 || r.Cycles == 0 || r.OSCycles == 0 {
+		t.Errorf("empty result counters: %+v", r)
+	}
+	if r.SimSeconds <= 0 {
+		t.Errorf("sim_seconds %v", r.SimSeconds)
+	}
+	if v.Progress == nil || v.Progress.Fraction != 1 {
+		t.Errorf("finished progress %+v, want fraction 1", v.Progress)
+	}
+	if v.Progress.RoundsTotal != testScale {
+		t.Errorf("rounds_total %d, want %d", v.Progress.RoundsTotal, testScale)
+	}
+	if v.StartedAt == nil || v.FinishedAt == nil {
+		t.Errorf("missing timestamps: %+v", v)
+	}
+}
+
+func TestDedupAndDistinctConfigs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	_, first, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	waitJob(t, ts.URL, first.ID)
+
+	status, again, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusOK {
+		t.Errorf("duplicate submit: HTTP %d, want 200", status)
+	}
+	if !again.Deduped || again.ID != first.ID {
+		t.Errorf("duplicate submit got %+v, want dedup onto %s", again, first.ID)
+	}
+
+	status, other, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	if status != http.StatusAccepted {
+		t.Errorf("distinct submit: HTTP %d, want 202", status)
+	}
+	if other.ID == first.ID {
+		t.Errorf("distinct config deduplicated onto %s", first.ID)
+	}
+	waitJob(t, ts.URL, other.ID)
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"not json", "hello"},
+		{"unknown workload", `{"workload":"nope","system":"Base"}`},
+		{"unknown system", `{"workload":"TRFD_4","system":"nope"}`},
+		{"negative scale", `{"workload":"TRFD_4","system":"Base","scale":-1}`},
+		{"huge scale", `{"workload":"TRFD_4","system":"Base","scale":100000}`},
+		{"negative seed", `{"workload":"TRFD_4","system":"Base","seed":-5}`},
+		{"unknown field", `{"workload":"TRFD_4","system":"Base","bogus":1}`},
+		{"trailing data", `{"workload":"TRFD_4","system":"Base"} extra`},
+		{"zero cache", `{"workload":"TRFD_4","system":"Base","machine":{"l1d_size_kb":0}}`},
+		{"bad line size", `{"workload":"TRFD_4","system":"Base","machine":{"l1d_line":24}}`},
+		{"huge cache", `{"workload":"TRFD_4","system":"Base","machine":{"l1d_size_kb":9999999}}`},
+		{"l2 line below l1", `{"workload":"TRFD_4","system":"Base","machine":{"l1d_line":64,"l2_line":32}}`},
+	}
+	for _, tc := range cases {
+		status, _, _ := postJSON(t, ts.URL+"/v1/run", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, status)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSweepJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	body := fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base","Blk_Dma"],"sizes_kb":[16,32],"scale":%d,"seed":1}`, testScale)
+	status, sub, _ := postJSON(t, ts.URL+"/v1/sweep", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("sweep submit: HTTP %d, want 202", status)
+	}
+	if sub.Kind != "sweep" {
+		t.Fatalf("kind %q", sub.Kind)
+	}
+	v := waitJob(t, ts.URL, sub.ID)
+	if v.State != JobDone {
+		t.Fatalf("sweep finished %s (error %q)", v.State, v.Error)
+	}
+	if v.Sweep == nil || len(v.Sweep.Points) != 4 {
+		t.Fatalf("sweep result %+v, want 4 points", v.Sweep)
+	}
+	if v.Progress.PointsDone != 4 || v.Progress.PointsTotal != 4 {
+		t.Errorf("sweep progress %+v", v.Progress)
+	}
+	for _, p := range v.Sweep.Points {
+		if p.Result == nil || p.Result.Cycles == 0 {
+			t.Errorf("empty sweep point %+v", p)
+		}
+	}
+
+	for _, bad := range []string{
+		`{"workload":"TRFD_4","systems":["Base"]}`,                              // no grid
+		`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16],"line_sizes":[32]}`, // both grids
+		`{"workload":"TRFD_4","systems":[],"sizes_kb":[16]}`,                    // no systems
+	} {
+		status, _, _ := postJSON(t, ts.URL+"/v1/sweep", bad)
+		if status != http.StatusBadRequest {
+			t.Errorf("bad sweep %q: HTTP %d, want 400", bad, status)
+		}
+	}
+}
+
+// blockingHook returns an execute seam whose calls block until release
+// is closed, reporting each start on started.
+func blockingHook(started chan<- string, release <-chan struct{}) func(context.Context, core.RunConfig) (*core.Outcome, error) {
+	return func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+		started <- string(cfg.Workload)
+		select {
+		case <-release:
+			return &core.Outcome{Config: cfg}, nil
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 1,
+		execute:    blockingHook(started, release),
+	})
+
+	// Job 1 occupies the single worker...
+	status, j1, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("job1: HTTP %d", status)
+	}
+	<-started
+	// ...job 2 fills the queue...
+	status, j2, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("job2: HTTP %d", status)
+	}
+	// ...and job 3 must be rejected with backpressure advice.
+	status, _, hdr := postJSON(t, ts.URL+"/v1/run", runBody(3))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("job3: HTTP %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	<-started // job 2 starts after job 1 frees the worker
+	if v := waitJob(t, ts.URL, j1.ID); v.State != JobDone {
+		t.Errorf("job1 finished %s", v.State)
+	}
+	if v := waitJob(t, ts.URL, j2.ID); v.State != JobDone {
+		t.Errorf("job2 finished %s", v.State)
+	}
+
+	// With capacity free again the rejected configuration is accepted.
+	status, j3, _ := postJSON(t, ts.URL+"/v1/run", runBody(3))
+	if status != http.StatusAccepted {
+		t.Fatalf("job3 retry: HTTP %d, want 202", status)
+	}
+	<-started
+	if v := waitJob(t, ts.URL, j3.ID); v.State != JobDone {
+		t.Errorf("job3 finished %s", v.State)
+	}
+}
+
+func TestDrainFinishesRunningCancelsQueued(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv := New(Options{
+		Workers:        1,
+		QueueDepth:     4,
+		StreamInterval: 20 * time.Millisecond,
+		execute:        blockingHook(started, release),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, running, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("running job: HTTP %d", status)
+	}
+	<-started
+	status, queued, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("queued job: HTTP %d", status)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	// The drain must wait for the in-flight simulation.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v while a job was still running", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if v := getJob(t, ts.URL, running.ID); v.State != JobDone {
+		t.Errorf("running job finished %s, want done", v.State)
+	}
+	if v := getJob(t, ts.URL, queued.ID); v.State != JobCanceled {
+		t.Errorf("queued job finished %s, want canceled", v.State)
+	}
+	// Intake is closed.
+	status, _, _ = postJSON(t, ts.URL+"/v1/run", runBody(3))
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: HTTP %d, want 503", status)
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	// The execute seam blocks the job until release closes, so the
+	// stream is guaranteed to observe at least one non-terminal frame.
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 4,
+		execute:    blockingHook(started, release),
+	})
+	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	<-started
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var progress, results int
+	var last StreamFrame
+	dec := json.NewDecoder(resp.Body)
+	released := false
+	for {
+		var f StreamFrame
+		if err := dec.Decode(&f); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("stream decode: %v", err)
+		}
+		switch f.Type {
+		case "progress":
+			progress++
+			if !released {
+				released = true
+				close(release)
+			}
+		case "result":
+			results++
+			last = f
+		default:
+			t.Fatalf("unknown frame type %q", f.Type)
+		}
+	}
+	if progress < 1 {
+		t.Error("stream carried no progress frames")
+	}
+	if results != 1 {
+		t.Fatalf("stream carried %d result frames, want 1", results)
+	}
+	if last.Job == nil || last.Job.State != JobDone || last.Job.Result == nil {
+		t.Errorf("final frame %+v, want done with result", last.Job)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/j-999999/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stream of unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// metricsSnapshot fetches and parses /metrics.
+func metricsSnapshot(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, data)
+	}
+	return m
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Draining {
+		t.Errorf("healthz %+v", health)
+	}
+
+	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	waitJob(t, ts.URL, sub.ID)
+	postJSON(t, ts.URL+"/v1/run", runBody(1)) // dedup hit
+
+	m := metricsSnapshot(t, ts.URL)
+	for _, key := range []string{
+		"queue_depth", "queue_capacity", "workers",
+		"jobs_queued", "jobs_running", "jobs_done", "jobs_failed",
+		"jobs_canceled", "jobs_deduped", "jobs_rejected",
+		"cache_hits", "cache_misses", "cache_hit_ratio", "sim_seconds_served",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+	if m["jobs_done"].(float64) < 1 {
+		t.Errorf("jobs_done %v", m["jobs_done"])
+	}
+	if m["jobs_deduped"].(float64) < 1 {
+		t.Errorf("jobs_deduped %v", m["jobs_deduped"])
+	}
+	if m["sim_seconds_served"].(float64) <= 0 {
+		t.Errorf("sim_seconds_served %v", m["sim_seconds_served"])
+	}
+}
+
+func TestFailedJobIsRetriable(t *testing.T) {
+	fail := true
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 4,
+		execute: func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+			if fail {
+				return nil, fmt.Errorf("injected failure")
+			}
+			return &core.Outcome{Config: cfg}, nil
+		},
+	})
+	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if v := waitJob(t, ts.URL, sub.ID); v.State != JobFailed || v.Error == "" {
+		t.Fatalf("job finished %s (%q), want failed", v.State, v.Error)
+	}
+	// The failure must not be served from the dedup index: the same
+	// configuration gets a fresh job.
+	fail = false
+	status, again, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusAccepted || again.ID == sub.ID {
+		t.Fatalf("retry after failure: HTTP %d id %s (original %s)", status, again.ID, sub.ID)
+	}
+	if v := waitJob(t, ts.URL, again.ID); v.State != JobDone {
+		t.Errorf("retry finished %s", v.State)
+	}
+}
+
+// TestResponseBodiesAreJSON spot-checks that error paths answer JSON.
+func TestResponseBodiesAreJSON(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("400 body not a JSON error: %v %+v", err, e)
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// StreamFrame is one NDJSON line of GET /v1/jobs/{id}/stream: periodic
+// "progress" frames while the job is queued or running, then exactly
+// one "result" frame carrying the job's final view.
+type StreamFrame struct {
+	Type string    `json:"type"` // "progress" or "result"
+	Time time.Time `json:"time"`
+	Job  *JobView  `json:"job"`
+}
+
+// handleStream streams a job's progress as NDJSON until it reaches a
+// terminal state (or the client goes away). Each frame is flushed
+// immediately, so a curl reader sees live scheduling-round and
+// miss-counter movement sampled from the running simulation.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	emit := func(typ string) bool {
+		err := enc.Encode(StreamFrame{Type: typ, Time: time.Now(), Job: job.view(false)})
+		if err != nil {
+			return false
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(s.opts.StreamInterval)
+	defer ticker.Stop()
+	for {
+		if job.State().terminal() {
+			emit("result")
+			return
+		}
+		if !emit("progress") {
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,7 +22,7 @@ func runWorkload(t *testing.T, name workload.Name, opt kernel.OptConfig, p Param
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestIntegrationInclusion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, c := range s.cpus {
@@ -116,7 +117,7 @@ func TestIntegrationCoherenceSingleWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	owners := make(map[uint64]int)
@@ -142,7 +143,7 @@ func TestIntegrationWriteBuffersDrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, c := range s.cpus {
@@ -235,7 +236,7 @@ func TestRandomTraceNeverPanics(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		_, err = s.Run()
+		_, err = s.Run(context.Background())
 		return err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -268,7 +269,7 @@ func TestRandomDMATraces(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		_, err = s.Run()
+		_, err = s.Run(context.Background())
 		return err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {

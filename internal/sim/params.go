@@ -114,6 +114,11 @@ type Params struct {
 	// region, victim region) pair it represents. The function maps an
 	// address to a data-structure name.
 	RegionNamer func(uint64) string
+	// Progress, when set, receives sampled live counters during Run so
+	// a concurrent reader can report progress. Runtime plumbing only:
+	// it does not affect simulation results and is excluded from
+	// canonical run keys.
+	Progress *Progress
 }
 
 // DefaultParams returns the paper's Base machine.

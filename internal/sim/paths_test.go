@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -112,7 +113,7 @@ func TestDeadlockErrorMessageNamesCulprits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Run()
+	_, err = s.Run(context.Background())
 	if err == nil {
 		t.Fatal("no deadlock error")
 	}
@@ -133,7 +134,7 @@ func TestDeadlockErrorNamesBarrier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Run()
+	_, err = s.Run(context.Background())
 	if err == nil {
 		t.Fatal("no deadlock error")
 	}
@@ -174,7 +175,7 @@ func TestRegionNamerCensus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

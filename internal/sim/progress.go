@@ -1,0 +1,82 @@
+package sim
+
+import "sync/atomic"
+
+// Progress is a lock-free live progress feed for a running simulation.
+// The simulator samples its counters into the attached Progress every
+// few hundred references, so a concurrent reader (the ossimd streaming
+// endpoint) can report refs processed, live OS miss counts and the
+// advancing global clock without stopping or locking the simulation.
+//
+// Attach one via Params.Progress (or core.RunConfig.Progress, which
+// also sets the trace total). Progress is runtime plumbing, not part of
+// the simulated configuration: it is excluded from canonical run keys.
+type Progress struct {
+	refs      atomic.Uint64
+	totalRefs atomic.Uint64
+	osMisses  atomic.Uint64
+	cycles    atomic.Uint64
+	done      atomic.Bool
+}
+
+// ProgressSnapshot is one consistent-enough view of a live run. The
+// fields are sampled individually, so a snapshot taken mid-run may mix
+// adjacent sampling points; every field is monotonic, which is all a
+// progress report needs.
+type ProgressSnapshot struct {
+	// Refs is the number of trace references processed so far.
+	Refs uint64
+	// TotalRefs is the total reference count of the built workload
+	// (0 until the workload generator reports it).
+	TotalRefs uint64
+	// OSReadMisses is the live OS primary-data-cache read-miss count.
+	OSReadMisses uint64
+	// Cycles is the advancing global clock (cycles of the processor
+	// last stepped).
+	Cycles uint64
+	// Done reports that the simulation finished (the other fields are
+	// final).
+	Done bool
+}
+
+// SetTotalRefs records the workload's total reference count.
+func (p *Progress) SetTotalRefs(n uint64) { p.totalRefs.Store(n) }
+
+// Snapshot returns the current progress.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	return ProgressSnapshot{
+		Refs:         p.refs.Load(),
+		TotalRefs:    p.totalRefs.Load(),
+		OSReadMisses: p.osMisses.Load(),
+		Cycles:       p.cycles.Load(),
+		Done:         p.done.Load(),
+	}
+}
+
+// Fraction returns completion in [0,1], by references processed.
+func (s ProgressSnapshot) Fraction() float64 {
+	if s.Done {
+		return 1
+	}
+	if s.TotalRefs == 0 {
+		return 0
+	}
+	f := float64(s.Refs) / float64(s.TotalRefs)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// sample publishes one observation from the simulation loop.
+func (p *Progress) sample(refs, osMisses, cycles uint64) {
+	p.refs.Store(refs)
+	p.osMisses.Store(osMisses)
+	p.cycles.Store(cycles)
+}
+
+// markDone publishes the final counters and flags completion.
+func (p *Progress) markDone(refs, osMisses, cycles uint64) {
+	p.sample(refs, osMisses, cycles)
+	p.done.Store(true)
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -101,8 +102,18 @@ func New(p Params, sources []trace.Source) (*Simulator, error) {
 }
 
 // Run simulates to trace exhaustion and returns the measurements.
-func (s *Simulator) Run() (*Result, error) {
-	for {
+// Cancellation of ctx aborts the run between references (checked every
+// ctxCheckStride steps, so an abort costs at most a few microseconds of
+// extra simulation); the error then wraps context.Cause(ctx).
+func (s *Simulator) Run(ctx context.Context) (*Result, error) {
+	for n := uint64(0); ; n++ {
+		if n&(ctxCheckStride-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("sim: canceled after %d refs: %w", s.refs, context.Cause(ctx))
+			default:
+			}
+		}
 		c := s.nextRunnable()
 		if c == nil {
 			if s.allDone() {
@@ -114,14 +125,27 @@ func (s *Simulator) Run() (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded MaxRefs=%d", s.p.MaxRefs)
 		}
 		s.step(c)
+		if s.p.Progress != nil && n&(progressStride-1) == 0 {
+			s.p.Progress.sample(s.refs, s.c.DReadMisses[trace.KindOS], c.time)
+		}
 	}
 	s.finish()
+	if s.p.Progress != nil {
+		s.p.Progress.markDone(s.refs, s.c.DReadMisses[trace.KindOS], s.c.Cycles)
+	}
 	res := &Result{Counters: s.c, Refs: s.refs, Conflicts: s.conflicts}
 	for _, c := range s.cpus {
 		res.CPUTime = append(res.CPUTime, c.time)
 	}
 	return res, nil
 }
+
+// ctxCheckStride and progressStride must be powers of two; they bound
+// the per-reference cost of cancellation checks and progress sampling.
+const (
+	ctxCheckStride = 1024
+	progressStride = 256
+)
 
 // nextRunnable returns the unblocked, unfinished processor with the
 // smallest local clock, or nil.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"oscachesim/internal/memory"
@@ -26,7 +27,7 @@ func run(t *testing.T, p Params, perCPU ...[]trace.Ref) *Result {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -243,7 +244,7 @@ func TestDeadlockDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err == nil {
+	if _, err := s.Run(context.Background()); err == nil {
 		t.Error("deadlocked trace ran to completion")
 	}
 }
@@ -514,7 +515,7 @@ func TestMaxRefsGuard(t *testing.T) {
 		srcs[i] = trace.NewSliceSource(nil)
 	}
 	s, _ := New(p, srcs)
-	if _, err := s.Run(); err == nil {
+	if _, err := s.Run(context.Background()); err == nil {
 		t.Error("MaxRefs exceeded without error")
 	}
 }

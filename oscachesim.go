@@ -24,6 +24,8 @@
 package oscachesim
 
 import (
+	"context"
+
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
 	"oscachesim/internal/sim"
@@ -101,11 +103,15 @@ func DefaultMachine() MachineParams { return sim.DefaultParams() }
 // generated scheduling rounds (0 = the workload default); seed makes
 // the run deterministic — comparisons between systems must share it.
 func Run(w Workload, s System, scale int, seed int64) (*Outcome, error) {
-	return core.Run(core.RunConfig{Workload: w, System: s, Scale: scale, Seed: seed})
+	return core.Run(context.Background(), core.RunConfig{Workload: w, System: s, Scale: scale, Seed: seed})
 }
 
 // RunWith simulates an arbitrary configuration.
-func RunWith(cfg RunConfig) (*Outcome, error) { return core.Run(cfg) }
+func RunWith(cfg RunConfig) (*Outcome, error) { return core.Run(context.Background(), cfg) }
+
+// RunContext simulates an arbitrary configuration under a context:
+// cancellation aborts the simulation promptly.
+func RunContext(ctx context.Context, cfg RunConfig) (*Outcome, error) { return core.Run(ctx, cfg) }
 
 // Experiment names one regenerable table or figure of the paper.
 type Experiment = experiment.Experiment
