@@ -8,9 +8,14 @@ package oscachesim
 // cmd/tables and cmd/figures for full-scale runs.
 
 import (
+	"context"
 	"testing"
 
 	"oscachesim/internal/experiment"
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/trace"
+	"oscachesim/internal/workload"
 )
 
 // benchScale is the number of scheduling rounds per workload used in
@@ -82,13 +87,75 @@ func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
 // bus-traffic study.
 func BenchmarkUpdateTraffic(b *testing.B) { benchExperiment(b, "update-traffic") }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed
-// (references per second) on the Base system.
+// cyclicSource replays a reference slice in a loop, drawing from a
+// budget shared by all processors, so a fixed-size trace can feed a
+// simulator exactly b.N references. The simulator is single-goroutine,
+// so the plain shared counter is safe.
+type cyclicSource struct {
+	refs   []trace.Ref
+	pos    int
+	budget *int64
+}
+
+func (s *cyclicSource) Next() (trace.Ref, bool) {
+	if *s.budget <= 0 || len(s.refs) == 0 {
+		return trace.Ref{}, false
+	}
+	*s.budget--
+	r := s.refs[s.pos]
+	s.pos++
+	if s.pos == len(s.refs) {
+		s.pos = 0
+	}
+	return r, true
+}
+
+// BenchmarkSimulatorThroughput measures the simulator's steady-state
+// per-reference cost on the Base machine: one long-lived simulator
+// consumes exactly b.N references of a pre-built trace replayed
+// cyclically, so allocs/op is the amortized heap traffic of the inner
+// loop itself (target: 0) rather than of workload construction. Sync
+// annotations are cleared before replay — a cycled trace would
+// otherwise strand processors at barriers whose partners ran out of
+// budget mid-round.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	built := workload.Build(workload.TRFD4, kernel.OptConfig{}, benchScale, 1)
+	per := make([][]trace.Ref, len(built.PerCPU))
+	for c, refs := range built.PerCPU {
+		per[c] = make([]trace.Ref, len(refs))
+		copy(per[c], refs)
+		for i := range per[c] {
+			per[c][i].Sync = trace.SyncNone
+		}
+	}
+	budget := int64(b.N)
+	srcs := make([]trace.Source, len(per))
+	for c := range per {
+		srcs[c] = &cyclicSource{refs: per[c], budget: &budget}
+	}
+	s, err := sim.New(sim.DefaultParams(), srcs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Refs != uint64(b.N) {
+		b.Fatalf("simulated %d refs, want %d", res.Refs, b.N)
+	}
+	b.ReportMetric(float64(res.Refs)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkEndToEndRun measures a complete run — workload generation
+// plus simulation — through the public facade.
+func BenchmarkEndToEndRun(b *testing.B) {
 	b.ReportAllocs()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
-		o, err := Run(TRFD4, Base, benchScale, 1)
+		o, err := RunContext(context.Background(), RunConfig{Workload: TRFD4, System: Base, Scale: benchScale, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,13 +168,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		o, err := Run(Shell, Base, 2, int64(i)+1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		_ = o
+		built := workload.Build(workload.Shell, kernel.OptConfig{}, 2, int64(i)+1)
+		built.Release()
 	}
 }
+
+// benchSweep runs the Figure 6 cache-size grid (3 sizes x 3 systems x
+// 4 workloads) through the scheduler at the given width with a cold
+// cache each iteration — the workload of `cmd/sweep`. The serial and
+// parallel variants quantify the scheduler's wall-clock win; their
+// outputs are verified identical by TestParallelSchedulerDeterminism.
+func benchSweep(b *testing.B, parallel bool) {
+	b.Helper()
+	var cfgs []RunConfig
+	for _, w := range Workloads() {
+		for _, kb := range []uint64{16, 32, 64} {
+			for _, sys := range []System{Base, BlkDma, BCPref} {
+				p := DefaultMachine()
+				p.L1D.Size = kb * 1024
+				cfgs = append(cfgs, RunConfig{Workload: w, System: sys, Scale: benchScale, Seed: 1, Machine: &p})
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRunner(experiment.Config{Scale: benchScale, Seed: 1, Parallel: parallel})
+		if _, err := r.RunConfigs(context.Background(), cfgs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the geometry sweep on one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, false) }
+
+// BenchmarkSweepParallel is the same sweep across GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, true) }
 
 // --- Ablation benchmarks -------------------------------------------------
 //

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"oscachesim/internal/experiment"
@@ -24,9 +25,11 @@ import (
 
 func main() {
 	var (
-		study = flag.String("study", "all", "study id or all (write-buffers, prefetch-distance, dma-rate, update-set, associativity, conflict-pairs, perturbation)")
-		scale = flag.Int("scale", 0, "scheduling rounds per workload (0 = default)")
-		seed  = flag.Int64("seed", 1, "deterministic seed")
+		study    = flag.String("study", "all", "study id or all (write-buffers, prefetch-distance, dma-rate, update-set, associativity, conflict-pairs, perturbation)")
+		scale    = flag.Int("scale", 0, "scheduling rounds per workload (0 = default)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Bool("parallel", true, "render studies concurrently (output order is unchanged)")
+		workers  = flag.Int("workers", 0, "simulation worker count when parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -34,7 +37,9 @@ func main() {
 	// instead of letting the study run to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	r := experiment.NewRunnerContext(ctx, experiment.Config{Scale: *scale, Seed: *seed})
+	r := experiment.NewRunnerContext(ctx, experiment.Config{
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers,
+	})
 	studies := experiment.Ablations()
 	if *study != "all" {
 		e, err := experiment.FindAblation(*study)
@@ -44,16 +49,37 @@ func main() {
 		}
 		studies = []experiment.Experiment{e}
 	}
-	for _, e := range studies {
-		out, err := e.Render(r)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				fmt.Fprintln(os.Stderr, "ablate: interrupted:", err)
+
+	// Studies render concurrently (their simulations dedup through the
+	// shared Runner cache) but print in order, so the output matches a
+	// serial run byte for byte.
+	type rendered struct {
+		out string
+		err error
+	}
+	results := make([]rendered, len(studies))
+	var wg sync.WaitGroup
+	for i, e := range studies {
+		if !*parallel {
+			results[i].out, results[i].err = e.Render(r)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, e experiment.Experiment) {
+			defer wg.Done()
+			results[i].out, results[i].err = e.Render(r)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			if errors.Is(res.err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "ablate: interrupted:", res.err)
 			} else {
-				fmt.Fprintln(os.Stderr, "ablate:", err)
+				fmt.Fprintln(os.Stderr, "ablate:", res.err)
 			}
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		fmt.Println(res.out)
 	}
 }

@@ -1,7 +1,7 @@
 // Command loadbench is a closed-loop load generator for a live ossimd
 // daemon: -c concurrent clients submit -n simulation jobs, wait for
 // each to finish (polling the status endpoint), and report throughput,
-// end-to-end latency percentiles and the daemon's /metrics. A 429 is
+// end-to-end latency percentiles and the daemon's /v1/metrics. A 429 is
 // honored by sleeping the advertised Retry-After and retrying, which
 // is what makes the loop closed.
 //
@@ -103,7 +103,7 @@ func main() {
 		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
 		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
 
-	if body, err := get(client, *addr+"/metrics"); err == nil {
+	if body, err := get(client, *addr+"/v1/metrics"); err == nil {
 		fmt.Printf("metrics: %s", body)
 	}
 	if errCount.Load() > 0 {
@@ -111,7 +111,7 @@ func main() {
 	}
 }
 
-// runBody renders one /v1/run request body.
+// runBody renders one /v1/runs request body.
 func runBody(w, sys string, scale int, seed int64) []byte {
 	b, _ := json.Marshal(map[string]any{
 		"workload": w, "system": sys, "scale": scale, "seed": seed,
@@ -133,7 +133,7 @@ func oneRequest(client *http.Client, addr string, body []byte, poll, timeout tim
 		Error   string `json:"error"`
 	}
 	for {
-		resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return 0, false, err
 		}
@@ -164,7 +164,7 @@ func oneRequest(client *http.Client, addr string, body []byte, poll, timeout tim
 	}
 
 	for {
-		body, err := get(client, addr+"/v1/jobs/"+sub.ID)
+		body, err := get(client, addr+"/v1/runs/"+sub.ID)
 		if err != nil {
 			return 0, false, err
 		}

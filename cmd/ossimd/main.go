@@ -10,12 +10,15 @@
 //
 // API (see README.md for the full reference):
 //
-//	POST /v1/run               submit one simulation
-//	POST /v1/sweep             submit a geometry/system grid
-//	GET  /v1/jobs/{id}         job status and result
-//	GET  /v1/jobs/{id}/stream  NDJSON progress stream
+//	POST /v1/runs              submit one simulation
+//	POST /v1/sweeps            submit a geometry/system grid
+//	GET  /v1/runs/{id}         job status and result
+//	GET  /v1/runs/{id}/stream  NDJSON progress stream
 //	GET  /healthz              liveness
-//	GET  /metrics              expvar counters
+//	GET  /v1/metrics           expvar counters
+//
+// Legacy unversioned paths (/v1/run, /v1/sweep, /v1/jobs/{id}[/stream],
+// /metrics) answer 308 Permanent Redirect for one release.
 package main
 
 import (

@@ -37,9 +37,11 @@ func main() {
 		lines   = flag.String("linesizes", "", "comma-separated L1D line sizes in bytes to sweep")
 		l2line  = flag.Uint64("l2line", 32, "L2 line size in bytes during a line-size sweep")
 		sysList = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated systems")
-		wname   = flag.String("workload", "", "workload (default: all four)")
-		scale   = flag.Int("scale", 0, "scheduling rounds (0 = default)")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
+		wname    = flag.String("workload", "", "workload (default: all four)")
+		scale    = flag.Int("scale", 0, "scheduling rounds (0 = default)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Bool("parallel", true, "fan grid points across workers (output is identical to serial)")
+		workers  = flag.Int("workers", 0, "worker count when parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if (*sizes == "") == (*lines == "") {
@@ -97,7 +99,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	r := experiment.NewRunnerContext(ctx, experiment.Config{Scale: *scale, Seed: *seed})
+	r := experiment.NewRunnerContext(ctx, experiment.Config{
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers,
+	})
+
+	// Warm the whole grid through the work-stealing scheduler, then
+	// render serially from the cache — the printed sweep is identical
+	// to a serial run, only the wall clock changes.
+	var cfgs []core.RunConfig
+	for _, w := range workloads {
+		for _, pt := range grid {
+			for _, sys := range systems {
+				p := pt.p
+				cfgs = append(cfgs, core.RunConfig{
+					Workload: w, System: sys, Scale: *scale, Seed: *seed, Machine: &p,
+				})
+			}
+		}
+	}
+	if _, err := r.RunConfigs(ctx, cfgs, nil); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
+		fatal(err)
+	}
 
 	for _, w := range workloads {
 		fmt.Printf("== %s\n", w)

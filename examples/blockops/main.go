@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,14 +27,20 @@ func main() {
 		oscachesim.BlkByPref, oscachesim.BlkDma,
 	}
 
+	// One Sim, five systems: Compare fans the independent runs across
+	// the machine's cores and returns them in order.
+	outs, err := oscachesim.New(oscachesim.TRFDMake, oscachesim.Base,
+		oscachesim.WithScale(scale), oscachesim.WithSeed(seed)).
+		Compare(context.Background(), systems...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var baseMisses, baseTime float64
 	fmt.Printf("Block-operation schemes on %s (normalized to Base):\n\n", oscachesim.TRFDMake)
 	fmt.Printf("%-11s %8s %8s %8s %8s\n", "system", "misses", "block", "other", "OS time")
 	for i, sys := range systems {
-		o, err := oscachesim.Run(oscachesim.TRFDMake, sys, scale, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
+		o := outs[i]
 		misses := float64(o.Counters.OSDReadMisses())
 		osTime := float64(o.OSTime())
 		if i == 0 {

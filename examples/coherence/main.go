@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,9 @@ func main() {
 	const scale, seed = 0, 1
 	w := oscachesim.TRFD4
 
-	base, err := oscachesim.Run(w, oscachesim.BlkDma, scale, seed)
+	s := oscachesim.New(w, oscachesim.BlkDma,
+		oscachesim.WithScale(scale), oscachesim.WithSeed(seed))
+	base, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,11 +44,13 @@ func main() {
 	fmt.Printf("%-11s %8s %10s %9s\n", "system", "misses", "coherence", "traffic")
 	bm := float64(base.Counters.OSDReadMisses())
 	bt := float64(base.Counters.Bus.TotalBytes())
-	for _, sys := range []oscachesim.System{oscachesim.BlkDma, oscachesim.BCohReloc, oscachesim.BCohRelUp} {
-		o, err := oscachesim.Run(w, sys, scale, seed)
-		if err != nil {
-			log.Fatal(err)
-		}
+	steps := []oscachesim.System{oscachesim.BlkDma, oscachesim.BCohReloc, oscachesim.BCohRelUp}
+	outs, err := s.Compare(context.Background(), steps...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, sys := range steps {
+		o := outs[i]
 		fmt.Printf("%-11s %8.2f %10.2f %9.2f\n", sys,
 			float64(o.Counters.OSDReadMisses())/bm,
 			float64(o.Counters.OSMissBy[stats.MissCoherence])/bm,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -25,14 +26,13 @@ func main() {
 	const scale, seed = 0, 1
 	w := oscachesim.Shell
 
-	before, err := oscachesim.Run(w, oscachesim.BCohRelUp, scale, seed)
+	outs, err := oscachesim.New(w, oscachesim.BCohRelUp,
+		oscachesim.WithScale(scale), oscachesim.WithSeed(seed)).
+		Compare(context.Background(), oscachesim.BCohRelUp, oscachesim.BCPref)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := oscachesim.Run(w, oscachesim.BCPref, scale, seed)
-	if err != nil {
-		log.Fatal(err)
-	}
+	before, after := outs[0], outs[1]
 
 	type spot struct {
 		id     uint16

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,14 +19,13 @@ import (
 func main() {
 	const scale, seed = 0, 1 // workload-default length, fixed seed
 
-	base, err := oscachesim.Run(oscachesim.TRFD4, oscachesim.Base, scale, seed)
+	s := oscachesim.New(oscachesim.TRFD4, oscachesim.Base,
+		oscachesim.WithScale(scale), oscachesim.WithSeed(seed))
+	outs, err := s.Compare(context.Background(), oscachesim.Base, oscachesim.BCPref)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := oscachesim.Run(oscachesim.TRFD4, oscachesim.BCPref, scale, seed)
-	if err != nil {
-		log.Fatal(err)
-	}
+	base, full := outs[0], outs[1]
 
 	baseM := base.Counters.OSDReadMisses()
 	fullM := full.Counters.OSDReadMisses()

@@ -10,7 +10,6 @@ package bus
 
 import (
 	"fmt"
-	"sort"
 
 	"oscachesim/internal/coherence"
 )
@@ -160,7 +159,10 @@ func New(p Params) *Bus {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &Bus{params: p}
+	// The reservation list stays short (pruning discards past
+	// intervals); a small fixed capacity keeps the steady state off the
+	// heap.
+	return &Bus{params: p, reservations: make([]interval, 0, 16)}
 }
 
 // Params returns the bus geometry.
@@ -231,13 +233,14 @@ func (b *Bus) insert(iv interval, at int) {
 	b.reservations = append(b.reservations, interval{})
 	copy(b.reservations[at+1:], b.reservations[at:])
 	b.reservations[at] = iv
-	// Defensive: keep sorted even if a gap search raced with pruning.
-	if !sort.SliceIsSorted(b.reservations, func(i, j int) bool {
-		return b.reservations[i].start < b.reservations[j].start
-	}) {
-		sort.Slice(b.reservations, func(i, j int) bool {
-			return b.reservations[i].start < b.reservations[j].start
-		})
+	// Defensive: keep sorted even if a gap search mis-placed against a
+	// neighbor. A direct neighbor fix-up replaces the old reflection-
+	// based sort.SliceIsSorted check, which allocated on every insert.
+	for i := at; i > 0 && b.reservations[i].start < b.reservations[i-1].start; i-- {
+		b.reservations[i], b.reservations[i-1] = b.reservations[i-1], b.reservations[i]
+	}
+	for i := at; i < len(b.reservations)-1 && b.reservations[i+1].start < b.reservations[i].start; i++ {
+		b.reservations[i], b.reservations[i+1] = b.reservations[i+1], b.reservations[i]
 	}
 }
 

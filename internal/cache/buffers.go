@@ -27,11 +27,16 @@ type WriteBufferEntry struct {
 // 32-byte-wide buffer between L2 and the bus. Reads bypass the buffers
 // but must forward from them on an address match (release consistency
 // with read-bypass-write, Section 2.4).
+//
+// Entry storage is allocated once at construction and reused for the
+// buffer's whole life: Push/Pop never allocate, which keeps the
+// simulator's write path off the heap.
 type WriteBuffer struct {
-	name    string
-	granule uint64 // match granularity in bytes (word or line)
-	entries []WriteBufferEntry
-	cap     int
+	name     string
+	granule  uint64 // match granularity in bytes (word or line)
+	granMask uint64 // granule-1, precomputed for the hot Contains path
+	entries  []WriteBufferEntry
+	cap      int
 	// peak occupancy and overflow stalls are reported by the stall
 	// accounting of Figure 1.
 	peak      int
@@ -44,7 +49,13 @@ func NewWriteBuffer(name string, capacity int, granule uint64) *WriteBuffer {
 	if capacity <= 0 || granule == 0 || granule&(granule-1) != 0 {
 		panic(fmt.Sprintf("cache: bad write buffer %q cap=%d granule=%d", name, capacity, granule))
 	}
-	return &WriteBuffer{name: name, granule: granule, cap: capacity}
+	return &WriteBuffer{
+		name:     name,
+		granule:  granule,
+		granMask: granule - 1,
+		entries:  make([]WriteBufferEntry, 0, capacity),
+		cap:      capacity,
+	}
 }
 
 // Len returns the current occupancy.
@@ -63,7 +74,7 @@ func (b *WriteBuffer) Push(e WriteBufferEntry) {
 	if b.Full() {
 		panic(fmt.Sprintf("cache: push into full write buffer %q", b.name))
 	}
-	e.Addr &^= b.granule - 1
+	e.Addr &^= b.granMask
 	b.entries = append(b.entries, e)
 	if len(b.entries) > b.peak {
 		b.peak = len(b.entries)
@@ -93,9 +104,9 @@ func (b *WriteBuffer) Pop() (WriteBufferEntry, bool) {
 // buffer's granule; reads must forward from (or wait for) such entries
 // instead of bypassing them.
 func (b *WriteBuffer) Contains(addr uint64) bool {
-	key := addr &^ (b.granule - 1)
-	for _, e := range b.entries {
-		if e.Addr == key {
+	key := addr &^ b.granMask
+	for i := range b.entries {
+		if b.entries[i].Addr == key {
 			return true
 		}
 	}
@@ -112,18 +123,34 @@ func (b *WriteBuffer) Overflows() uint64 { return b.overflows }
 // Peak returns the high-water occupancy.
 func (b *WriteBuffer) Peak() int { return b.peak }
 
-// Reset empties the buffer (between simulation phases in tests).
-func (b *WriteBuffer) Reset() { b.entries = b.entries[:0] }
+// Reset returns the buffer to its just-constructed state: entries,
+// peak occupancy and overflow counts all clear. Pooled buffers are
+// reused across runs, so a partial reset would leak one run's stall
+// statistics into the next run's Figure 1 accounting.
+func (b *WriteBuffer) Reset() {
+	b.entries = b.entries[:0]
+	b.peak = 0
+	b.overflows = 0
+}
 
 // MSHR tracks the outstanding misses that make the secondary cache
 // lockup-free (Kroft-style). Each entry maps a line address to the
 // cycle its fill completes; later requests for the same line merge into
 // the existing entry instead of issuing a second bus transaction.
+//
+// The file is small (8 entries on the paper's machine), so it is stored
+// as a flat array scanned linearly: no per-miss map allocation, and
+// Retire compacts in place.
 type MSHR struct {
 	name    string
 	cap     int
-	pending map[uint64]uint64 // line addr -> ready cycle
+	pending []mshrEntry
 	merges  uint64
+}
+
+type mshrEntry struct {
+	line  uint64
+	ready uint64
 }
 
 // NewMSHR returns an MSHR file with the given number of entries.
@@ -131,17 +158,19 @@ func NewMSHR(name string, capacity int) *MSHR {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: bad MSHR capacity %d", capacity))
 	}
-	return &MSHR{name: name, cap: capacity, pending: make(map[uint64]uint64)}
+	return &MSHR{name: name, cap: capacity, pending: make([]mshrEntry, 0, capacity)}
 }
 
 // Lookup returns the completion cycle of an outstanding miss on line,
 // if one exists, and counts the merge.
 func (m *MSHR) Lookup(line uint64) (uint64, bool) {
-	ready, ok := m.pending[line]
-	if ok {
-		m.merges++
+	for i := range m.pending {
+		if m.pending[i].line == line {
+			m.merges++
+			return m.pending[i].ready, true
+		}
 	}
-	return ready, ok
+	return 0, false
 }
 
 // Full reports whether all entries are occupied.
@@ -153,16 +182,18 @@ func (m *MSHR) Add(line, ready uint64) {
 	if m.Full() {
 		panic(fmt.Sprintf("cache: MSHR %q overflow", m.name))
 	}
-	m.pending[line] = ready
+	m.pending = append(m.pending, mshrEntry{line: line, ready: ready})
 }
 
 // Retire removes entries that completed at or before now.
 func (m *MSHR) Retire(now uint64) {
-	for line, ready := range m.pending {
-		if ready <= now {
-			delete(m.pending, line)
+	kept := m.pending[:0]
+	for _, e := range m.pending {
+		if e.ready > now {
+			kept = append(kept, e)
 		}
 	}
+	m.pending = kept
 }
 
 // Len returns the number of outstanding misses.

@@ -76,9 +76,15 @@ type Victim struct {
 
 // Cache is one cache array. It is not safe for concurrent use; the
 // simulator is single-goroutine by design (cycle-ordered).
+//
+// Set and tag decode is fully precomputed at construction (line mask,
+// set shift, set mask), and the direct-mapped geometry the simulated
+// machine uses throughout gets a one-way fast path in Lookup/Peek —
+// one index computation and one compare per probe, no way loop.
 type Cache struct {
 	cfg       Config
 	lines     []Line // sets * assoc, way-major within a set
+	lineMask  uint64 // LineSize-1, precomputed for LineAddr
 	setShift  uint
 	setMask   uint64
 	assoc     int
@@ -97,6 +103,7 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		cfg:      cfg,
 		lines:    make([]Line, cfg.Size/cfg.LineSize),
+		lineMask: cfg.LineSize - 1,
 		setShift: uint(bits.TrailingZeros64(cfg.LineSize)),
 		setMask:  sets - 1,
 		assoc:    cfg.Assoc,
@@ -107,7 +114,7 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // LineAddr returns the line-aligned address containing addr.
-func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (c.cfg.LineSize - 1) }
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ c.lineMask }
 
 // set returns the slice of ways forming addr's set.
 func (c *Cache) set(addr uint64) []Line {
@@ -121,7 +128,16 @@ func (c *Cache) set(addr uint64) []Line {
 // be used to mutate the line's coherence state in place. Lookup
 // refreshes the line's replacement age.
 func (c *Cache) Lookup(addr uint64) (*Line, bool) {
-	tag := c.LineAddr(addr)
+	tag := addr &^ c.lineMask
+	if c.assoc == 1 {
+		l := &c.lines[(addr>>c.setShift)&c.setMask]
+		if l.Tag == tag && l.State.Valid() {
+			c.clock++
+			l.lastUse = c.clock
+			return l, true
+		}
+		return nil, false
+	}
 	set := c.set(addr)
 	for i := range set {
 		if set[i].State.Valid() && set[i].Tag == tag {
@@ -136,7 +152,14 @@ func (c *Cache) Lookup(addr uint64) (*Line, bool) {
 // Peek is Lookup without the replacement-age refresh, for snooping and
 // diagnostics.
 func (c *Cache) Peek(addr uint64) (*Line, bool) {
-	tag := c.LineAddr(addr)
+	tag := addr &^ c.lineMask
+	if c.assoc == 1 {
+		l := &c.lines[(addr>>c.setShift)&c.setMask]
+		if l.Tag == tag && l.State.Valid() {
+			return l, true
+		}
+		return nil, false
+	}
 	set := c.set(addr)
 	for i := range set {
 		if set[i].State.Valid() && set[i].Tag == tag {

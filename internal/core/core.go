@@ -250,6 +250,12 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
 	}
+	if cfg.Monitor == nil {
+		// Recycle the trace's backing arrays. A Monitor may have kept a
+		// handle on the simulator (and through it the sources), so the
+		// release is skipped in that case.
+		built.Release()
+	}
 	return &Outcome{
 		Config:    cfg,
 		Counters:  res.Counters,

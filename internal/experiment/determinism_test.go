@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// TestParallelSchedulerDeterminism renders every experiment twice —
+// once with a serial runner and once through the work-stealing
+// scheduler — and requires byte-identical output. This is the
+// guarantee the parallel sweep rests on: the schedule may reorder
+// *when* simulations run, but never what they compute, so `sweep
+// -parallel` and the golden files stay interchangeable. The test runs
+// under -race in CI, which also exercises the scheduler's deques and
+// the Runner cache under real contention.
+func TestParallelSchedulerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid double render is slow")
+	}
+	cfg := TestConfig()
+	serial := NewRunner(cfg)
+	pcfg := cfg
+	pcfg.Parallel = true
+	pcfg.Workers = 4
+	parallel := NewRunner(pcfg)
+	if err := parallel.WarmUp(AllPairs()); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		want, err := e.Render(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.ID, err)
+		}
+		got, err := e.Render(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.ID, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel render differs from serial", e.ID)
+		}
+	}
+}
+
+// TestRunConfigsOrderAndProgress checks the scheduler's two output
+// contracts directly: outcomes come back in input order regardless of
+// which worker ran them, and a shared Progress accumulates every
+// completed run's reference total.
+func TestRunConfigsOrderAndProgress(t *testing.T) {
+	r := NewRunner(Config{Scale: 3, Seed: 1, Parallel: true, Workers: 3})
+	var cfgs []core.RunConfig
+	for _, sys := range []core.System{core.Base, core.BlkDma, core.BCPref, core.Base} {
+		cfgs = append(cfgs, core.RunConfig{Workload: workload.Shell, System: sys, Scale: 3, Seed: 1})
+	}
+	var prog sim.Progress
+	outs, err := r.RunConfigs(context.Background(), cfgs, &prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRefs uint64
+	for i, o := range outs {
+		if o == nil {
+			t.Fatalf("outcome %d missing", i)
+		}
+		if o.Config.System != cfgs[i].System {
+			t.Errorf("outcome %d: got system %s, want %s", i, o.Config.System, cfgs[i].System)
+		}
+		wantRefs += o.Refs
+	}
+	if outs[0] != outs[3] {
+		t.Error("duplicate configuration did not share one cached outcome")
+	}
+	if got := prog.Snapshot().Refs; got != wantRefs {
+		t.Errorf("progress refs = %d, want %d", got, wantRefs)
+	}
+}
+
+// TestRunConfigsCancellation checks that a failing configuration
+// cancels the remaining work and surfaces its error.
+func TestRunConfigsCancellation(t *testing.T) {
+	r := NewRunner(Config{Scale: 3, Seed: 1, Parallel: true, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []core.RunConfig{
+		{Workload: workload.Shell, System: core.Base, Scale: 3, Seed: 1},
+		{Workload: workload.TRFD4, System: core.Base, Scale: 3, Seed: 1},
+	}
+	if _, err := r.RunConfigs(ctx, cfgs, nil); err == nil {
+		t.Fatal("want error from canceled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -12,7 +12,6 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -29,8 +28,13 @@ type Config struct {
 	Scale int
 	// Seed drives all generation deterministically.
 	Seed int64
-	// Parallel runs independent simulations on multiple goroutines.
+	// Parallel runs independent simulations on multiple goroutines
+	// via the work-stealing scheduler (parallel.go). Outcomes are
+	// byte-identical to a serial run; only wall-clock changes.
 	Parallel bool
+	// Workers is the scheduler width when Parallel is set; 0 means
+	// GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for the published
@@ -201,38 +205,16 @@ type Pair struct {
 	System   core.System
 }
 
-// WarmUp runs the given pairs concurrently (when the config allows) so
-// later experiment renders hit the cache. The first error, if any, is
-// returned.
+// WarmUp runs the given pairs through the work-stealing scheduler
+// (serially when the config says so) so later experiment renders hit
+// the cache. The first error, if any, is returned.
 func (r *Runner) WarmUp(pairs []Pair) error {
-	if !r.cfg.Parallel {
-		for _, pr := range pairs {
-			if _, err := r.Outcome(pr.Workload, pr.System); err != nil {
-				return err
-			}
-		}
-		return nil
+	cfgs := make([]core.RunConfig, len(pairs))
+	for i, pr := range pairs {
+		cfgs[i] = r.configFor(pr.Workload, pr.System)
 	}
-	// Bound the in-flight simulations: each holds a full trace in
-	// memory, so unbounded fan-out trades CPU time for page faults.
-	sem := make(chan struct{}, max(1, min(4, runtime.NumCPU())))
-	var wg sync.WaitGroup
-	errs := make(chan error, len(pairs))
-	for _, pr := range pairs {
-		pr := pr
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := r.Outcome(pr.Workload, pr.System); err != nil {
-				errs <- err
-			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	return <-errs
+	_, err := r.RunConfigs(r.ctx, cfgs, nil)
+	return err
 }
 
 // AllPairs returns every (workload, system) combination — the full

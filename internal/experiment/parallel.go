@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/trace"
+)
+
+// This file is the parallel sweep scheduler: a work-stealing runner
+// that fans independent simulation configurations across workers while
+// keeping results byte-identical to a serial run. Determinism holds
+// because each configuration is itself deterministic (same canonical
+// key, same outcome) and results are assembled in input order — the
+// schedule changes only *when* a run executes, never what it computes.
+// The Runner's content-addressed cache deduplicates configurations that
+// appear more than once regardless of which worker gets them first.
+
+// deque is one worker's job queue of indices into the config list.
+// The owner pops newest-first from the bottom (its own recently pushed
+// work stays cache-warm); thieves steal oldest-first from the top,
+// which takes the work the owner is furthest from reaching. Jobs here
+// are whole simulations — milliseconds to seconds each — so a plain
+// mutex costs nothing measurable and keeps the structure obvious.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) popBottom() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	i := d.jobs[len(d.jobs)-1]
+	d.jobs = d.jobs[:len(d.jobs)-1]
+	return i, true
+}
+
+func (d *deque) stealTop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	i := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return i, true
+}
+
+// workers returns the scheduler width for this Runner's config: 1 when
+// parallelism is off, the explicit worker count when one was set, and
+// GOMAXPROCS otherwise.
+func (r *Runner) workers() int {
+	if !r.cfg.Parallel {
+		return 1
+	}
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunConfigs executes every configuration and returns outcomes in
+// input order. With a parallel config the work fans across workers
+// with work stealing; duplicated configurations are computed once via
+// the Runner cache. A non-nil prog receives each completed run's
+// totals (references, OS read misses, cycles) as accumulating deltas.
+//
+// The first error cancels the remaining work and is returned; partial
+// outcomes are discarded.
+func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *sim.Progress) ([]*core.Outcome, error) {
+	outs := make([]*core.Outcome, len(cfgs))
+	n := r.workers()
+	if n > len(cfgs) {
+		n = len(cfgs)
+	}
+	if n <= 1 {
+		for i, cfg := range cfgs {
+			o, err := r.OutcomeConfig(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = o
+			publishOutcome(prog, o)
+		}
+		return outs, nil
+	}
+
+	// Deal configurations round-robin so every worker starts with a
+	// spread of the input; stealing rebalances whatever the deal got
+	// wrong (run times vary by an order of magnitude across systems).
+	deques := make([]*deque, n)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for i := range cfgs {
+		w := i % n
+		deques[w].jobs = append(deques[w].jobs, i)
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques[self].popBottom()
+				for off := 1; !ok && off < n; off++ {
+					idx, ok = deques[(self+off)%n].stealTop()
+				}
+				if !ok || ctx.Err() != nil {
+					return
+				}
+				o, err := r.OutcomeConfig(ctx, cfgs[idx])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel(err)
+					})
+					return
+				}
+				outs[idx] = o
+				publishOutcome(prog, o)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if ctx.Err() != nil {
+		// Workers drained out because the caller's context died, not
+		// because the work finished; outs has holes.
+		return nil, context.Cause(ctx)
+	}
+	return outs, nil
+}
+
+// publishOutcome feeds one completed run's totals to an aggregate
+// progress feed.
+func publishOutcome(prog *sim.Progress, o *core.Outcome) {
+	if prog == nil {
+		return
+	}
+	prog.Publish(o.Refs, o.Counters.DReadMisses[trace.KindOS], o.Counters.Cycles)
+}

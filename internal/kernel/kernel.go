@@ -47,6 +47,30 @@ func (e *Emitter) Emit(r trace.Ref) {
 	e.Refs = append(e.Refs, r)
 }
 
+// EmitBatch appends a chunk of references in one grow-and-copy,
+// stamping the CPU on each. The workload generator emits in small
+// fixed-size chunks (a loop body's worth at a time) instead of one
+// reference per call.
+func (e *Emitter) EmitBatch(rs []trace.Ref) {
+	base := len(e.Refs)
+	e.Refs = append(e.Refs, rs...)
+	for i := base; i < len(e.Refs); i++ {
+		e.Refs[i].CPU = e.CPU
+	}
+}
+
+// Reserve ensures capacity for at least n further references, so a
+// generator that can estimate its output (rounds × refs-per-round)
+// pays one allocation instead of a doubling cascade.
+func (e *Emitter) Reserve(n int) {
+	if cap(e.Refs)-len(e.Refs) >= n {
+		return
+	}
+	grown := make([]trace.Ref, len(e.Refs), len(e.Refs)+n)
+	copy(grown, e.Refs)
+	e.Refs = grown
+}
+
 // Len returns the number of references emitted.
 func (e *Emitter) Len() int { return len(e.Refs) }
 

@@ -29,7 +29,7 @@ func TestConcurrentDuplicateRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			status, v, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+			status, v, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 			if status != http.StatusAccepted && status != http.StatusOK {
 				t.Errorf("submit: HTTP %d", status)
 				return
@@ -96,7 +96,7 @@ func TestSharedRunnerAcrossJobs(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16, Runner: runner})
 
 	// One plain run...
-	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if v := waitJob(t, ts.URL, sub.ID); v.State != JobDone {
 		t.Fatalf("run finished %s", v.State)
 	}
@@ -105,7 +105,7 @@ func TestSharedRunnerAcrossJobs(t *testing.T) {
 	// ...then the identical configuration again (different job key is
 	// impossible here; submit dedups, so force a second runner call by
 	// going through a sweep that contains only new geometry).
-	status, sw, _ := postJSON(t, ts.URL+"/v1/sweep",
+	status, sw, _ := postJSON(t, ts.URL+"/v1/sweeps",
 		`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16],"scale":2,"seed":1}`)
 	if status != http.StatusAccepted {
 		t.Fatalf("sweep submit: HTTP %d", status)
@@ -121,7 +121,7 @@ func TestSharedRunnerAcrossJobs(t *testing.T) {
 	// Re-running the same sweep under a fresh server sharing the runner
 	// is answered entirely from the memo cache.
 	_, ts2 := newTestServer(t, Options{Workers: 2, QueueDepth: 16, Runner: runner})
-	_, sw2, _ := postJSON(t, ts2.URL+"/v1/sweep",
+	_, sw2, _ := postJSON(t, ts2.URL+"/v1/sweeps",
 		`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16],"scale":2,"seed":1}`)
 	if v := waitJob(t, ts2.URL, sw2.ID); v.State != JobDone {
 		t.Fatalf("repeat sweep finished %s (%q)", v.State, v.Error)

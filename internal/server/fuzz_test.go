@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// FuzzDecodeRunRequest drives the /v1/run body decoder with arbitrary
+// FuzzDecodeRunRequest drives the /v1/runs body decoder with arbitrary
 // bytes. The contract under fuzzing: decodeRunRequest never panics, and
 // every rejection is a *RequestError (the handler's 400 path) — a bare
 // error would surface as a 500 for what is always a client problem.

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestLegacyPathsRedirect pins the deprecation contract of the
+// pre-resource API: every legacy path answers 308 Permanent Redirect
+// (which preserves the method and body, so old POST clients keep
+// submitting) pointing at its v1 resource successor, and /healthz is
+// served directly — liveness probes must not need redirect support.
+func TestLegacyPathsRedirect(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+
+	cases := []struct {
+		method, path, want string
+	}{
+		{"POST", "/v1/run", "/v1/runs"},
+		{"POST", "/v1/sweep", "/v1/sweeps"},
+		{"GET", "/v1/jobs/j-000001", "/v1/runs/j-000001"},
+		{"GET", "/v1/jobs/j-000001/stream", "/v1/runs/j-000001/stream"},
+		{"GET", "/metrics", "/v1/metrics"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: status %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+	}
+
+	resp, err := noFollow.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: status %d, want 200 (no redirect)", resp.StatusCode)
+	}
+}
+
+// TestLegacyPostFollowsThrough submits a run through the legacy path
+// with a standard client (which replays the body on 308) and expects a
+// normal accepted job — the compatibility the one-release window
+// promises.
+func TestLegacyPostFollowsThrough(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("legacy POST via redirect: status %d, want 202", status)
+	}
+	if sub.ID == "" {
+		t.Fatal("no job id")
+	}
+}

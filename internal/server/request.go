@@ -13,7 +13,7 @@ import (
 )
 
 // This file is the daemon's external input surface: the JSON request
-// bodies of POST /v1/run and POST /v1/sweep, their decoding, and the
+// bodies of POST /v1/runs and POST /v1/sweeps, their decoding, and the
 // validation that turns them into core.RunConfig values. Everything
 // here must hold up under arbitrary bytes — the fuzz target
 // FuzzDecodeRunRequest drives decodeRunRequest with adversarial input
@@ -70,7 +70,7 @@ type MachineRequest struct {
 	DMAPer8B   *uint64 `json:"dma_cycles_per_8b,omitempty"`
 }
 
-// RunRequest is the body of POST /v1/run.
+// RunRequest is the body of POST /v1/runs.
 type RunRequest struct {
 	Workload     string          `json:"workload"`
 	System       string          `json:"system"`
@@ -84,7 +84,7 @@ type RunRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// SweepRequest is the body of POST /v1/sweep: one workload simulated
+// SweepRequest is the body of POST /v1/sweeps: one workload simulated
 // under each system at each grid point. Exactly one of SizesKB and
 // LineSizes must be set.
 type SweepRequest struct {
@@ -114,7 +114,7 @@ func decodeJSON(r io.Reader, v any) error {
 	return nil
 }
 
-// decodeRunRequest decodes and fully validates a /v1/run body,
+// decodeRunRequest decodes and fully validates a /v1/runs body,
 // returning the simulation configuration it describes. The returned
 // config always passes sim.Params.Validate. All failures are
 // *RequestError values.
@@ -271,7 +271,7 @@ type sweepPoint struct {
 	Cfg    core.RunConfig
 }
 
-// decodeSweepRequest decodes and validates a /v1/sweep body and
+// decodeSweepRequest decodes and validates a /v1/sweeps body and
 // expands it into the grid of runs it describes.
 func decodeSweepRequest(r io.Reader) ([]sweepPoint, *SweepRequest, error) {
 	var sr SweepRequest

@@ -12,14 +12,21 @@
 // computation and memoizes outcomes. N concurrent identical requests
 // therefore cost exactly one simulation.
 //
-// Endpoints:
+// Endpoints (v1 resource surface):
 //
-//	POST /v1/run            submit one simulation            -> JobView
-//	POST /v1/sweep          submit a geometry/system grid    -> JobView
-//	GET  /v1/jobs/{id}      job status, progress and result  -> JobView
-//	GET  /v1/jobs/{id}/stream  NDJSON progress frames, then the final view
-//	GET  /healthz           liveness and drain state
-//	GET  /metrics           expvar counters (queue, cache, jobs, sim-seconds)
+//	POST /v1/runs              submit one simulation            -> JobView
+//	POST /v1/sweeps            submit a geometry/system grid    -> JobView
+//	GET  /v1/runs/{id}         job status, progress and result  -> JobView
+//	GET  /v1/runs/{id}/stream  NDJSON progress frames, then the final view
+//	GET  /v1/metrics           expvar counters (queue, cache, jobs, sim-seconds)
+//	GET  /healthz              liveness and drain state (never redirected:
+//	                           probes must not need redirect support)
+//
+// The pre-resource paths (POST /v1/run, POST /v1/sweep,
+// GET /v1/jobs/{id}[/stream], GET /metrics) answer 308 Permanent
+// Redirect to their successors for one release — 308 preserves the
+// method and body, so a POST through an old client still submits —
+// and will then be removed.
 //
 // A full queue answers 429 with Retry-After; a draining server answers
 // 503. Drain stops intake, cancels queued jobs, and waits for running
@@ -119,15 +126,34 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler: the v1 resource routes
+// plus 308 redirects from the legacy paths (see the package comment's
+// deprecation window).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/metrics", s.metrics.handler)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.metrics.handler)
+
+	// Legacy surface: 308 preserves method and body, so POSTs through
+	// old clients are replayed against the new resource verbatim.
+	redirect := func(target func(r *http.Request) string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, target(r), http.StatusPermanentRedirect)
+		}
+	}
+	mux.HandleFunc("POST /v1/run", redirect(func(*http.Request) string { return "/v1/runs" }))
+	mux.HandleFunc("POST /v1/sweep", redirect(func(*http.Request) string { return "/v1/sweeps" }))
+	mux.HandleFunc("GET /v1/jobs/{id}", redirect(func(r *http.Request) string {
+		return "/v1/runs/" + r.PathValue("id")
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", redirect(func(r *http.Request) string {
+		return "/v1/runs/" + r.PathValue("id") + "/stream"
+	}))
+	mux.HandleFunc("GET /metrics", redirect(func(*http.Request) string { return "/v1/metrics" }))
 	return mux
 }
 

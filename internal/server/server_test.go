@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-// runBody renders a /v1/run body.
+// runBody renders a /v1/runs body.
 func runBody(seed int64) string {
 	return fmt.Sprintf(`{"workload":"TRFD_4","system":"Base","scale":%d,"seed":%d}`, testScale, seed)
 }
@@ -67,7 +67,7 @@ func postJSON(t *testing.T, url, body string) (int, *JobView, http.Header) {
 // getJob fetches one job view.
 func getJob(t *testing.T, base, id string) *JobView {
 	t.Helper()
-	resp, err := http.Get(base + "/v1/jobs/" + id)
+	resp, err := http.Get(base + "/v1/runs/" + id)
 	if err != nil {
 		t.Fatalf("GET job: %v", err)
 	}
@@ -100,7 +100,7 @@ func waitJob(t *testing.T, base, id string) *JobView {
 
 func TestRunJobLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
-	status, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	status, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if status != http.StatusAccepted {
 		t.Fatalf("submit: HTTP %d, want 202", status)
 	}
@@ -137,10 +137,10 @@ func TestRunJobLifecycle(t *testing.T) {
 
 func TestDedupAndDistinctConfigs(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
-	_, first, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	_, first, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	waitJob(t, ts.URL, first.ID)
 
-	status, again, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	status, again, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if status != http.StatusOK {
 		t.Errorf("duplicate submit: HTTP %d, want 200", status)
 	}
@@ -148,7 +148,7 @@ func TestDedupAndDistinctConfigs(t *testing.T) {
 		t.Errorf("duplicate submit got %+v, want dedup onto %s", again, first.ID)
 	}
 
-	status, other, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	status, other, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2))
 	if status != http.StatusAccepted {
 		t.Errorf("distinct submit: HTTP %d, want 202", status)
 	}
@@ -178,13 +178,13 @@ func TestBadRequests(t *testing.T) {
 		{"l2 line below l1", `{"workload":"TRFD_4","system":"Base","machine":{"l1d_line":64,"l2_line":32}}`},
 	}
 	for _, tc := range cases {
-		status, _, _ := postJSON(t, ts.URL+"/v1/run", tc.body)
+		status, _, _ := postJSON(t, ts.URL+"/v1/runs", tc.body)
 		if status != http.StatusBadRequest {
 			t.Errorf("%s: HTTP %d, want 400", tc.name, status)
 		}
 	}
 
-	resp, err := http.Get(ts.URL + "/v1/jobs/j-999999")
+	resp, err := http.Get(ts.URL + "/v1/runs/j-999999")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestBadRequests(t *testing.T) {
 func TestSweepJob(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
 	body := fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base","Blk_Dma"],"sizes_kb":[16,32],"scale":%d,"seed":1}`, testScale)
-	status, sub, _ := postJSON(t, ts.URL+"/v1/sweep", body)
+	status, sub, _ := postJSON(t, ts.URL+"/v1/sweeps", body)
 	if status != http.StatusAccepted {
 		t.Fatalf("sweep submit: HTTP %d, want 202", status)
 	}
@@ -225,7 +225,7 @@ func TestSweepJob(t *testing.T) {
 		`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16],"line_sizes":[32]}`, // both grids
 		`{"workload":"TRFD_4","systems":[],"sizes_kb":[16]}`,                    // no systems
 	} {
-		status, _, _ := postJSON(t, ts.URL+"/v1/sweep", bad)
+		status, _, _ := postJSON(t, ts.URL+"/v1/sweeps", bad)
 		if status != http.StatusBadRequest {
 			t.Errorf("bad sweep %q: HTTP %d, want 400", bad, status)
 		}
@@ -256,18 +256,18 @@ func TestQueueFullReturns429(t *testing.T) {
 	})
 
 	// Job 1 occupies the single worker...
-	status, j1, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	status, j1, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if status != http.StatusAccepted {
 		t.Fatalf("job1: HTTP %d", status)
 	}
 	<-started
 	// ...job 2 fills the queue...
-	status, j2, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	status, j2, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2))
 	if status != http.StatusAccepted {
 		t.Fatalf("job2: HTTP %d", status)
 	}
 	// ...and job 3 must be rejected with backpressure advice.
-	status, _, hdr := postJSON(t, ts.URL+"/v1/run", runBody(3))
+	status, _, hdr := postJSON(t, ts.URL+"/v1/runs", runBody(3))
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("job3: HTTP %d, want 429", status)
 	}
@@ -285,7 +285,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 
 	// With capacity free again the rejected configuration is accepted.
-	status, j3, _ := postJSON(t, ts.URL+"/v1/run", runBody(3))
+	status, j3, _ := postJSON(t, ts.URL+"/v1/runs", runBody(3))
 	if status != http.StatusAccepted {
 		t.Fatalf("job3 retry: HTTP %d, want 202", status)
 	}
@@ -307,12 +307,12 @@ func TestDrainFinishesRunningCancelsQueued(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	status, running, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	status, running, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if status != http.StatusAccepted {
 		t.Fatalf("running job: HTTP %d", status)
 	}
 	<-started
-	status, queued, _ := postJSON(t, ts.URL+"/v1/run", runBody(2))
+	status, queued, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2))
 	if status != http.StatusAccepted {
 		t.Fatalf("queued job: HTTP %d", status)
 	}
@@ -341,7 +341,7 @@ func TestDrainFinishesRunningCancelsQueued(t *testing.T) {
 		t.Errorf("queued job finished %s, want canceled", v.State)
 	}
 	// Intake is closed.
-	status, _, _ = postJSON(t, ts.URL+"/v1/run", runBody(3))
+	status, _, _ = postJSON(t, ts.URL+"/v1/runs", runBody(3))
 	if status != http.StatusServiceUnavailable {
 		t.Errorf("post-drain submit: HTTP %d, want 503", status)
 	}
@@ -357,10 +357,10 @@ func TestStreamEndpoint(t *testing.T) {
 		QueueDepth: 4,
 		execute:    blockingHook(started, release),
 	})
-	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	<-started
 
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/stream")
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sub.ID + "/stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +404,7 @@ func TestStreamEndpoint(t *testing.T) {
 		t.Errorf("final frame %+v, want done with result", last.Job)
 	}
 
-	resp, err = http.Get(ts.URL + "/v1/jobs/j-999999/stream")
+	resp, err = http.Get(ts.URL + "/v1/runs/j-999999/stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestStreamEndpoint(t *testing.T) {
 // metricsSnapshot fetches and parses /metrics.
 func metricsSnapshot(t *testing.T, base string) map[string]any {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,9 +451,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Errorf("healthz %+v", health)
 	}
 
-	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	waitJob(t, ts.URL, sub.ID)
-	postJSON(t, ts.URL+"/v1/run", runBody(1)) // dedup hit
+	postJSON(t, ts.URL+"/v1/runs", runBody(1)) // dedup hit
 
 	m := metricsSnapshot(t, ts.URL)
 	for _, key := range []string{
@@ -489,14 +489,14 @@ func TestFailedJobIsRetriable(t *testing.T) {
 			return &core.Outcome{Config: cfg}, nil
 		},
 	})
-	_, sub, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if v := waitJob(t, ts.URL, sub.ID); v.State != JobFailed || v.Error == "" {
 		t.Fatalf("job finished %s (%q), want failed", v.State, v.Error)
 	}
 	// The failure must not be served from the dedup index: the same
 	// configuration gets a fresh job.
 	fail = false
-	status, again, _ := postJSON(t, ts.URL+"/v1/run", runBody(1))
+	status, again, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
 	if status != http.StatusAccepted || again.ID == sub.ID {
 		t.Fatalf("retry after failure: HTTP %d id %s (original %s)", status, again.ID, sub.ID)
 	}
@@ -508,7 +508,7 @@ func TestFailedJobIsRetriable(t *testing.T) {
 // TestResponseBodiesAreJSON spot-checks that error paths answer JSON.
 func TestResponseBodiesAreJSON(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
-	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte("{")))
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
 		t.Fatal(err)
 	}

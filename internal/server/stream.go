@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-// StreamFrame is one NDJSON line of GET /v1/jobs/{id}/stream: periodic
+// StreamFrame is one NDJSON line of GET /v1/runs/{id}/stream: periodic
 // "progress" frames while the job is queued or running, then exactly
 // one "result" frame carrying the job's final view.
 type StreamFrame struct {

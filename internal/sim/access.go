@@ -44,9 +44,13 @@ func (s *Simulator) readAccess(c *cpuState, r trace.Ref, mode int) {
 	s.advanceDrains(c)
 	l1line := c.l1d.LineAddr(r.Addr)
 
-	// 1. Primary-cache hit.
+	// 1. Primary-cache hit. The observer guard skips constructing the
+	// Event entirely on the most-executed line of the simulator; with no
+	// observer attached the hit path is a lookup and two increments.
 	if _, hit := c.l1d.Lookup(r.Addr); hit {
-		s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 1, Addr: r.Addr})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvReadHit, CPU: c.id, Level: 1, Addr: r.Addr})
+		}
 		s.c.Time[mode].Exec++
 		c.time++
 		s.noteBlockSrcTouch(c, r, true)
@@ -97,16 +101,20 @@ func (s *Simulator) readAccess(c *cpuState, r trace.Ref, mode int) {
 	// 4. Write-buffer forwarding (reads bypass writes, forwarding on
 	// an address match).
 	if c.l1wb.Contains(r.Addr) || c.l2wb.Contains(r.Addr) {
-		lvl := 1
-		if !c.l1wb.Contains(r.Addr) {
-			lvl = 2
+		if s.obs != nil {
+			lvl := 1
+			if !c.l1wb.Contains(r.Addr) {
+				lvl = 2
+			}
+			s.emit(Event{Kind: EvForward, CPU: c.id, Level: lvl, Addr: r.Addr})
 		}
-		s.emit(Event{Kind: EvForward, CPU: c.id, Level: lvl, Addr: r.Addr})
 		s.c.Time[mode].Exec++
 		c.time++
 		return
 	}
-	s.emit(Event{Kind: EvNoForward, CPU: c.id, Addr: r.Addr})
+	if s.obs != nil {
+		s.emit(Event{Kind: EvNoForward, CPU: c.id, Addr: r.Addr})
+	}
 
 	// 5. Cache-bypassing block loads (Blk_Bypass and the non-buffered
 	// side of Blk_ByPref).
@@ -225,7 +233,9 @@ func (s *Simulator) writeAccess(c *cpuState, r trace.Ref, mode int) {
 		Tag:   uint8(r.Class),
 		Block: r.Block,
 	})
-	s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 1, Addr: r.Addr})
+	if s.obs != nil {
+		s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 1, Addr: r.Addr})
+	}
 	s.c.Time[mode].Exec++
 	c.time += stall + 1
 }
@@ -575,7 +585,9 @@ func (s *Simulator) captureMissContext(c *cpuState, addr uint64) missContext {
 		ctx.invalCls = rec.class
 		delete(c.invalBy, l2line)
 	}
-	s.emit(Event{Kind: EvMissContext, CPU: c.id, Addr: addr, CtxInval: ctx.inval, Class: ctx.invalCls})
+	if s.obs != nil {
+		s.emit(Event{Kind: EvMissContext, CPU: c.id, Addr: addr, CtxInval: ctx.inval, Class: ctx.invalCls})
+	}
 	return ctx
 }
 
@@ -602,7 +614,9 @@ func (s *Simulator) recordReadMiss(c *cpuState, r trace.Ref, mode int, stall uin
 	}
 
 	if r.Kind != trace.KindOS {
-		s.emit(Event{Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r, CtxInval: ctx.inval})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r, CtxInval: ctx.inval})
+		}
 		return
 	}
 	cls := stats.MissOther
@@ -619,10 +633,12 @@ func (s *Simulator) recordReadMiss(c *cpuState, r trace.Ref, mode int, stall uin
 		s.c.OSCohBy[cohCls]++
 	}
 	s.c.OSMissBy[cls]++
-	s.emit(Event{
-		Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r,
-		MissClass: cls, CohClass: cohCls, Classified: true, CtxInval: ctx.inval,
-	})
+	if s.obs != nil {
+		s.emit(Event{
+			Kind: EvReadMiss, CPU: c.id, Addr: r.Addr, Ref: r,
+			MissClass: cls, CohClass: cohCls, Classified: true, CtxInval: ctx.inval,
+		})
+	}
 	if r.Spot != 0 {
 		s.c.OSHotSpotMisses++
 		if int(r.Spot) < len(s.c.OSSpotMisses) {
@@ -633,15 +649,23 @@ func (s *Simulator) recordReadMiss(c *cpuState, r trace.Ref, mode int, stall uin
 
 // --- Block-operation bookkeeping -----------------------------------------
 
-// startBlock begins measuring a new block operation.
+// startBlock begins measuring a new block operation. The distinct-line
+// maps are reused across operations (cleared, not reallocated): a
+// workload performs tens of thousands of block operations, and two map
+// allocations per operation was a steady hot-path leak.
 func (s *Simulator) startBlock(c *cpuState, r trace.Ref) {
 	c.curBlock = r.Block
 	if r.Block == 0 {
 		return
 	}
 	s.c.Block.Ops++
-	c.blkSrcLines = make(map[uint64]bool)
-	c.blkDstLines = make(map[uint64]uint8)
+	if c.blkSrcLines == nil {
+		c.blkSrcLines = make(map[uint64]bool)
+		c.blkDstLines = make(map[uint64]uint8)
+	} else {
+		clear(c.blkSrcLines)
+		clear(c.blkDstLines)
+	}
 	c.blkBytes = uint64(r.Len)
 	c.blkIsCopy = false
 }
@@ -664,8 +688,8 @@ func (s *Simulator) finishBlock(c *cpuState) {
 		s.c.Block.SizeSmall++
 	}
 	c.curBlock = 0
-	c.blkSrcLines = nil
-	c.blkDstLines = nil
+	clear(c.blkSrcLines)
+	clear(c.blkDstLines)
 }
 
 // noteBlockSrcTouch records Table 3's row 1: whether each distinct
@@ -735,6 +759,11 @@ func (s *Simulator) advanceDrains(c *cpuState) { s.advanceDrainsUntil(c, c.time)
 // advanceDrainsUntil drains c's write buffers up to the given horizon,
 // which may be another processor's clock (global time).
 func (s *Simulator) advanceDrainsUntil(c *cpuState, until uint64) {
+	if c.l1wb.Len() == 0 && c.l2wb.Len() == 0 {
+		// Nothing buffered: the common case, since step probes every
+		// processor's buffers before each reference.
+		return
+	}
 	for {
 		progressed := false
 		if e, ok := c.l2wb.Peek(); ok {
@@ -798,11 +827,13 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 	case st == coherence.Modified || st == coherence.Exclusive:
 		// Absorbed by the owned L2 line.
 		c.l1wb.Pop()
-		s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
-		s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
+			s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
+		}
 		c.wbFreeA = start + s.p.L2WriteCycles
 		return true
 	default:
@@ -811,7 +842,9 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 		// the same line.
 		if c.l2wb.Contains(e.Addr) {
 			c.l1wb.Pop()
-			s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
+			if s.obs != nil {
+				s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
+			}
 			c.wbFreeA = start + s.p.L2WriteCycles
 			return true
 		}
@@ -827,7 +860,6 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 			start = max(start, bStart)
 		}
 		c.l1wb.Pop()
-		s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
 		c.l2wb.Push(cache.WriteBufferEntry{
 			Addr:     e.Addr,
 			Ready:    start + s.p.L2WriteCycles,
@@ -835,7 +867,10 @@ func (s *Simulator) serviceL1WBHead(c *cpuState, force bool) bool {
 			Tag:      e.Tag,
 			Block:    e.Block,
 		})
-		s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 2, Addr: e.Addr})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 1, Addr: e.Addr})
+			s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 2, Addr: e.Addr})
+		}
 		c.wbFreeA = start + s.p.L2WriteCycles
 		return true
 	}
@@ -850,7 +885,9 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 	if !ok {
 		return c.wbFreeB
 	}
-	s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 2, Addr: e.Addr})
+	if s.obs != nil {
+		s.emit(Event{Kind: EvWBRetire, CPU: c.id, Level: 2, Addr: e.Addr})
+	}
 	start := max(c.wbFreeB, e.Ready)
 	l2line := c.l2.LineAddr(e.Addr)
 	st := c.l2.State(l2line)
@@ -865,7 +902,9 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
-		s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
+		}
 	case st == coherence.Shared && updatePage:
 		// Firefly word-update broadcast: remote copies stay valid,
 		// memory is written through.
@@ -875,7 +914,9 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk && !sharers {
 			l.State = coherence.Exclusive
 		}
-		s.emit(Event{Kind: EvUpdate, CPU: c.id, Addr: l2line, Sharers: sharers})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvUpdate, CPU: c.id, Addr: l2line, Sharers: sharers})
+		}
 		c.wbFreeB = grant + occ
 	case st == coherence.Shared:
 		// Invalidation-only upgrade.
@@ -885,7 +926,9 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
-		s.emit(Event{Kind: EvUpgrade, CPU: c.id, Addr: l2line})
+		if s.obs != nil {
+			s.emit(Event{Kind: EvUpgrade, CPU: c.id, Addr: l2line})
+		}
 		c.wbFreeB = grant + occ
 	default:
 		// Write miss: write-allocate with a read-exclusive fill

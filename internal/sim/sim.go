@@ -133,7 +133,12 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 	if s.p.Progress != nil {
 		s.p.Progress.markDone(s.refs, s.c.DReadMisses[trace.KindOS], s.c.Cycles)
 	}
-	res := &Result{Counters: s.c, Refs: s.refs, Conflicts: s.conflicts}
+	res := &Result{
+		Counters:  s.c,
+		Refs:      s.refs,
+		Conflicts: s.conflicts,
+		CPUTime:   make([]uint64, 0, len(s.cpus)),
+	}
 	for _, c := range s.cpus {
 		res.CPUTime = append(res.CPUTime, c.time)
 	}
@@ -202,7 +207,9 @@ func (s *Simulator) step(c *cpuState) {
 	}
 	s.refs++
 	c.refs++
-	s.emit(Event{Kind: EvRef, CPU: c.id, Addr: r.Addr, Ref: r})
+	if s.obs != nil {
+		s.emit(Event{Kind: EvRef, CPU: c.id, Addr: r.Addr, Ref: r})
+	}
 	s.exec(c, r)
 }
 
@@ -278,8 +285,12 @@ func (s *Simulator) lockRelease(c *cpuState, r trace.Ref) {
 		l.held = false
 		return
 	}
+	// Pop the head by shifting in place, so the waiter array's capacity
+	// is reused instead of re-sliced away (re-slicing forces append to
+	// allocate a fresh array on every acquire/release cycle).
 	w := l.waiters[0]
-	l.waiters = l.waiters[1:]
+	copy(l.waiters, l.waiters[1:])
+	l.waiters = l.waiters[:len(l.waiters)-1]
 	l.owner = w.cpu
 	wc := s.cpus[w.cpu]
 	grant := max(c.time, w.arrived) + s.p.SyncGrantCycles

@@ -1,0 +1,40 @@
+package trace
+
+import "sync"
+
+// refPool recycles the large per-CPU reference batches built by the
+// workload generator. A sweep builds and discards one multi-megabyte
+// trace per run configuration; recycling the backing arrays keeps that
+// churn off the garbage collector, which matters once runs execute
+// concurrently on every core.
+//
+// The pool stores *[]Ref so that Put does not box a fresh interface
+// header for every slice.
+var refPool = sync.Pool{
+	New: func() any {
+		b := make([]Ref, 0, 1<<16)
+		return &b
+	},
+}
+
+// GetBatch returns an empty Ref slice with capacity at least capacity,
+// reusing a previously released batch when one is available.
+func GetBatch(capacity int) []Ref {
+	p := refPool.Get().(*[]Ref)
+	b := (*p)[:0]
+	if cap(b) < capacity {
+		b = make([]Ref, 0, capacity)
+	}
+	return b
+}
+
+// PutBatch releases a batch back to the pool. The caller must not use
+// the slice (or any alias of it) afterwards: the backing array will be
+// handed to a future GetBatch caller and overwritten.
+func PutBatch(b []Ref) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	refPool.Put(&b)
+}

@@ -44,6 +44,18 @@ func (b *Built) TotalRefs() int {
 	return n
 }
 
+// Release returns the per-CPU reference batches to the trace pool and
+// clears them. Callers that are done simulating a workload should
+// release it so the next Build reuses the multi-megabyte backing
+// arrays; after Release the Built (and any Source derived from it)
+// must not be used.
+func (b *Built) Release() {
+	for i, refs := range b.PerCPU {
+		trace.PutBatch(refs)
+		b.PerCPU[i] = nil
+	}
+}
+
 // Build generates a workload trace deterministically from the seed.
 // The kernel OptConfig selects the software-side optimizations; the
 // same (name, opt, scale, seed) always produces the same trace.
@@ -63,13 +75,21 @@ func Build(name Name, opt kernel.OptConfig, scale int, seed int64) *Built {
 		proc:   make([]int, NumCPUs),
 	}
 	for c := 0; c < NumCPUs; c++ {
-		g.ems[c] = &kernel.Emitter{CPU: uint8(c)}
+		g.ems[c] = &kernel.Emitter{CPU: uint8(c), Refs: trace.GetBatch(1 << 14)}
 		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
 		g.proc[c] = c*procsPerCPU + 1
 	}
 	g.global = rand.New(rand.NewSource(seed * 7919))
 	for round := 0; round < scale; round++ {
 		g.round(round)
+		if round == 0 && scale > 1 {
+			// Rounds are statistically alike, so the first round sizes
+			// the rest: reserve the remaining capacity (plus 10% slack)
+			// in one step instead of a doubling cascade of copies.
+			for c := 0; c < NumCPUs; c++ {
+				g.ems[c].Reserve(len(g.ems[c].Refs) * (scale - 1) * 11 / 10)
+			}
+		}
 	}
 	per := make([][]trace.Ref, NumCPUs)
 	for c := 0; c < NumCPUs; c++ {
@@ -265,6 +285,7 @@ func (g *generator) userBurst(c, refs int) {
 
 	n := refs / 5 // each iteration emits ~5 refs
 	pc := textBase
+	var body [5]trace.Ref // one loop iteration, emitted as a chunk
 	for i := 0; i < n; i++ {
 		// Small loop body: 4 instructions then one data access (a
 		// compute-heavy numeric inner loop).
@@ -272,7 +293,7 @@ func (g *generator) userBurst(c, refs int) {
 			pc = textBase + uint64(rng.Intn(4))*64
 		}
 		for j := 0; j < 4; j++ {
-			e.Emit(trace.Ref{Addr: pc, Op: trace.OpInstr, Kind: trace.KindUser})
+			body[j] = trace.Ref{Addr: pc, Op: trace.OpInstr, Kind: trace.KindUser}
 			pc += 4
 		}
 		var addr uint64
@@ -292,6 +313,7 @@ func (g *generator) userBurst(c, refs int) {
 		if rng.Intn(4) == 0 {
 			op = trace.OpWrite
 		}
-		e.Emit(trace.Ref{Addr: addr, Op: op, Kind: trace.KindUser, Class: trace.ClassUserData})
+		body[4] = trace.Ref{Addr: addr, Op: op, Kind: trace.KindUser, Class: trace.ClassUserData}
+		e.EmitBatch(body[:])
 	}
 }

@@ -13,10 +13,10 @@
 //
 // Quick start:
 //
-//	base, _ := oscachesim.Run(oscachesim.TRFD4, oscachesim.Base, 0, 1)
-//	full, _ := oscachesim.Run(oscachesim.TRFD4, oscachesim.BCPref, 0, 1)
+//	s := oscachesim.New(oscachesim.TRFD4, oscachesim.Base, oscachesim.WithSeed(1))
+//	outs, _ := s.Compare(context.Background(), oscachesim.Base, oscachesim.BCPref)
 //	fmt.Printf("OS speedup: %.1f%%\n",
-//	    100*(1-float64(full.OSTime())/float64(base.OSTime())))
+//	    100*(1-float64(outs[1].OSTime())/float64(outs[0].OSTime())))
 //
 // The cmd directory provides ready-made tools: ossim (single runs),
 // tables and figures (regenerate the paper's evaluation), sweep
@@ -99,19 +99,100 @@ type MachineParams = sim.Params
 // coherence on an 8-byte 40-MHz split-transaction bus.
 func DefaultMachine() MachineParams { return sim.DefaultParams() }
 
+// RunContext simulates an arbitrary configuration under a context:
+// cancellation aborts the simulation promptly. It is the canonical
+// entry point; New with options is the ergonomic way to build the
+// configuration.
+func RunContext(ctx context.Context, cfg RunConfig) (*Outcome, error) { return core.Run(ctx, cfg) }
+
+// Sim is a configured simulation built by New. The zero value is not
+// usable.
+type Sim struct {
+	cfg     core.RunConfig
+	workers int
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// WithScale sets the number of generated scheduling rounds (0 = the
+// workload default).
+func WithScale(n int) Option { return func(s *Sim) { s.cfg.Scale = n } }
+
+// WithSeed sets the deterministic seed. Runs comparing systems must
+// share a seed so they face the same workload; the default is 1.
+func WithSeed(k int64) Option { return func(s *Sim) { s.cfg.Seed = k } }
+
+// WithMachine overrides the simulated hardware (cache-geometry
+// studies); the default is the paper's machine.
+func WithMachine(m MachineParams) Option {
+	return func(s *Sim) { s.cfg.Machine = &m }
+}
+
+// WithParallelism sets how many simulations [Sim.Compare] fans out at
+// once (0 = GOMAXPROCS). A single [Sim.Run] is unaffected: one
+// simulation is cycle-ordered and inherently serial.
+func WithParallelism(p int) Option { return func(s *Sim) { s.workers = p } }
+
+// WithConfig replaces the whole run configuration (study knobs like
+// DeferredCopy or PureUpdate); options applied after it still take
+// effect.
+func WithConfig(cfg RunConfig) Option {
+	return func(s *Sim) { w, sys := s.cfg.Workload, s.cfg.System; s.cfg = cfg; s.cfg.Workload, s.cfg.System = w, sys }
+}
+
+// New builds a simulation of workload w under system s.
+//
+//	sim := oscachesim.New(oscachesim.TRFD4, oscachesim.BCPref,
+//	    oscachesim.WithScale(10), oscachesim.WithSeed(7))
+//	out, err := sim.Run(ctx)
+func New(w Workload, s System, opts ...Option) *Sim {
+	sim := &Sim{cfg: core.RunConfig{Workload: w, System: s, Seed: 1}}
+	for _, opt := range opts {
+		opt(sim)
+	}
+	return sim
+}
+
+// Config returns the run configuration the options assembled.
+func (s *Sim) Config() RunConfig { return s.cfg }
+
+// Run executes the simulation; ctx cancellation aborts it promptly.
+func (s *Sim) Run(ctx context.Context) (*Outcome, error) { return core.Run(ctx, s.cfg) }
+
+// Compare runs the same workload under each system, fanning the
+// independent simulations across workers (see WithParallelism), and
+// returns outcomes in the order given. All runs share the Sim's
+// workload, scale, seed and machine, so outcomes are directly
+// comparable — and byte-identical to running them serially.
+func (s *Sim) Compare(ctx context.Context, systems ...System) ([]*Outcome, error) {
+	r := experiment.NewRunnerContext(ctx, experiment.Config{
+		Scale: s.cfg.Scale, Seed: s.cfg.Seed, Parallel: true, Workers: s.workers,
+	})
+	cfgs := make([]core.RunConfig, len(systems))
+	for i, sys := range systems {
+		cfgs[i] = s.cfg
+		cfgs[i].System = sys
+	}
+	return r.RunConfigs(ctx, cfgs, nil)
+}
+
 // Run simulates one workload under one system. scale is the number of
 // generated scheduling rounds (0 = the workload default); seed makes
 // the run deterministic — comparisons between systems must share it.
+//
+// Deprecated: Use New with WithScale/WithSeed and [Sim.Run], or
+// RunContext for full control. Run ignores cancellation and predates
+// the options API; it will be removed after one release.
 func Run(w Workload, s System, scale int, seed int64) (*Outcome, error) {
 	return core.Run(context.Background(), core.RunConfig{Workload: w, System: s, Scale: scale, Seed: seed})
 }
 
 // RunWith simulates an arbitrary configuration.
+//
+// Deprecated: Use RunContext, which is RunWith plus cancellation; it
+// will be removed after one release.
 func RunWith(cfg RunConfig) (*Outcome, error) { return core.Run(context.Background(), cfg) }
-
-// RunContext simulates an arbitrary configuration under a context:
-// cancellation aborts the simulation promptly.
-func RunContext(ctx context.Context, cfg RunConfig) (*Outcome, error) { return core.Run(ctx, cfg) }
 
 // Experiment names one regenerable table or figure of the paper.
 type Experiment = experiment.Experiment

@@ -1,22 +1,87 @@
 package oscachesim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
-func TestPublicAPIRun(t *testing.T) {
-	base, err := Run(TRFD4, Base, 5, 1)
+func TestPublicAPINew(t *testing.T) {
+	s := New(TRFD4, Base, WithScale(5), WithSeed(1))
+	if cfg := s.Config(); cfg.Scale != 5 || cfg.Seed != 1 || cfg.Workload != TRFD4 || cfg.System != Base {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	base, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	full, err := Run(TRFD4, BCPref, 5, 1)
+	full, err := New(TRFD4, BCPref, WithScale(5), WithSeed(1)).Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run BCPref: %v", err)
 	}
 	if full.Counters.OSDReadMisses() >= base.Counters.OSDReadMisses() {
 		t.Errorf("BCPref misses (%d) not below Base (%d)",
 			full.Counters.OSDReadMisses(), base.Counters.OSDReadMisses())
+	}
+}
+
+func TestPublicAPICompare(t *testing.T) {
+	s := New(Shell, Base, WithScale(3), WithSeed(1), WithParallelism(2))
+	outs, err := s.Compare(context.Background(), Base, BlkDma, BCPref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	for i, want := range []System{Base, BlkDma, BCPref} {
+		if outs[i].Config.System != want {
+			t.Errorf("outcome %d is %s, want %s", i, outs[i].Config.System, want)
+		}
+	}
+	// Compare must match individual runs of the same configuration.
+	solo, err := New(Shell, BlkDma, WithScale(3), WithSeed(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[1].Counters != solo.Counters {
+		t.Error("Compare outcome differs from an identical solo run")
+	}
+}
+
+func TestPublicAPIWithMachine(t *testing.T) {
+	m := DefaultMachine()
+	m.L1D.Size = 64 * 1024
+	o, err := New(Shell, Base, WithScale(4), WithMachine(m)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Refs == 0 {
+		t.Error("empty run")
+	}
+}
+
+// TestDeprecatedFacadeStillWorks pins the compatibility contract: the
+// deprecated wrappers must keep producing the same outcomes as the
+// options API until they are removed.
+func TestDeprecatedFacadeStillWorks(t *testing.T) {
+	a, err := Run(TRFD4, Base, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(TRFD4, Base, WithScale(4), WithSeed(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Error("deprecated Run disagrees with New(...).Run")
+	}
+	c, err := RunWith(RunConfig{Workload: TRFD4, System: Base, Scale: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Counters != b.Counters {
+		t.Error("deprecated RunWith disagrees with New(...).Run")
 	}
 }
 
