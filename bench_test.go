@@ -164,6 +164,41 @@ func BenchmarkEndToEndRun(b *testing.B) {
 	b.ReportMetric(float64(refs)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 }
 
+// BenchmarkBuildAndRunStreaming is BenchmarkEndToEndRun on the
+// streaming pipeline: generation overlaps simulation and the trace is
+// never materialized. It reports B/op (the pooled chunks keep it far
+// below the materialized path's footprint), throughput, and peak-refs —
+// the pipeline's high-water mark of resident references, which stays
+// O(budget) regardless of scale where the materialized path holds the
+// whole trace.
+func BenchmarkBuildAndRunStreaming(b *testing.B) {
+	b.ReportAllocs()
+	var refs uint64
+	peak := 0
+	for i := 0; i < b.N; i++ {
+		st := workload.Stream(workload.TRFD4, kernel.OptConfig{}, benchScale, 1, workload.StreamOptions{})
+		s, err := sim.New(sim.DefaultParams(), st.Sources())
+		if err != nil {
+			st.Abort()
+			b.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			st.Abort()
+			b.Fatal(err)
+		}
+		if err := st.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		refs += res.Refs
+		if p := st.PeakPendingRefs(); p > peak {
+			peak = p
+		}
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+	b.ReportMetric(float64(peak), "peak-refs")
+}
+
 // BenchmarkWorkloadGeneration measures trace-generation speed alone.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()

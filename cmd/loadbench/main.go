@@ -44,6 +44,7 @@ func main() {
 		seeds   = flag.Int64("seeds", 5, "rotate seeds 1..N (1 = all requests identical)")
 		poll    = flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-request end-to-end budget")
+		stream  = flag.Bool("stream", false, "request streaming generation (stream:true) so the daemon's workers exercise the chunked pipeline")
 	)
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *seeds <= 0 {
@@ -65,7 +66,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				lat, deduped, err := oneRequest(client, *addr, runBody(*wname, *system, *scale, 1+int64(i)%*seeds), *poll, *timeout, &retries)
+				lat, deduped, err := oneRequest(client, *addr, runBody(*wname, *system, *scale, 1+int64(i)%*seeds, *stream), *poll, *timeout, &retries)
 				if err != nil {
 					errCount.Add(1)
 					fmt.Fprintf(os.Stderr, "loadbench: request %d: %v\n", i, err)
@@ -112,10 +113,14 @@ func main() {
 }
 
 // runBody renders one /v1/runs request body.
-func runBody(w, sys string, scale int, seed int64) []byte {
-	b, _ := json.Marshal(map[string]any{
+func runBody(w, sys string, scale int, seed int64, stream bool) []byte {
+	body := map[string]any{
 		"workload": w, "system": sys, "scale": scale, "seed": seed,
-	})
+	}
+	if stream {
+		body["stream"] = true
+	}
+	b, _ := json.Marshal(body)
 	return b
 }
 

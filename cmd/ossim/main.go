@@ -103,7 +103,11 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck 
 	defer f.Close()
 	p := sim.DefaultParams()
 	system.Apply(&p)
-	per := trace.SplitByCPU(trace.ReaderSource(trace.NewReader(f)), p.NumCPUs)
+	src, err := trace.OpenSource(f) // flat or chunked, auto-detected
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	per := trace.SplitByCPU(src, p.NumCPUs)
 	srcs := make([]trace.Source, len(per))
 	for i, refs := range per {
 		srcs[i] = trace.NewSliceSource(refs)

@@ -42,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Bool("parallel", true, "fan grid points across workers (output is identical to serial)")
 		workers  = flag.Int("workers", 0, "worker count when parallel (0 = GOMAXPROCS)")
+		stream   = flag.Bool("stream", false, "generate each workload concurrently with its simulation in bounded chunks (identical output, flat memory)")
 	)
 	flag.Parse()
 	if (*sizes == "") == (*lines == "") {
@@ -100,7 +101,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	r := experiment.NewRunnerContext(ctx, experiment.Config{
-		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers,
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers, Stream: *stream,
 	})
 
 	// Warm the whole grid through the work-stealing scheduler, then
@@ -112,7 +113,8 @@ func main() {
 			for _, sys := range systems {
 				p := pt.p
 				cfgs = append(cfgs, core.RunConfig{
-					Workload: w, System: sys, Scale: *scale, Seed: *seed, Machine: &p,
+					Workload: w, System: sys, Scale: *scale, Seed: *seed,
+					Machine: &p, Stream: *stream,
 				})
 			}
 		}

@@ -1,12 +1,16 @@
 // Command tracedump generates, saves, inspects and summarizes
-// reference traces in the library's binary trace format.
+// reference traces in the library's binary trace formats: the flat
+// stream format and (with -chunked) the chunked delta format, whose
+// per-chunk CRC-protected headers allow seekable, bounded-memory
+// replay. Reading auto-detects the format from the file header.
 //
 // Usage:
 //
-//	tracedump -workload TRFD_4 -out trfd.trc        # generate + save
-//	tracedump -in trfd.trc                          # summarize a file
-//	tracedump -in trfd.trc -print 20                # print refs
-//	tracedump -workload Shell                       # summarize directly
+//	tracedump -workload TRFD_4 -out trfd.trc          # generate + save
+//	tracedump -workload TRFD_4 -chunked -out trfd.trk # chunked format
+//	tracedump -in trfd.trc                            # summarize a file
+//	tracedump -in trfd.trc -print 20                  # print refs
+//	tracedump -workload Shell                         # summarize directly
 package main
 
 import (
@@ -25,9 +29,10 @@ func main() {
 		sname  = flag.String("system", "Base", "system whose kernel build to trace")
 		scale  = flag.Int("scale", 0, "scheduling rounds (0 = default)")
 		seed   = flag.Int64("seed", 1, "deterministic seed")
-		out    = flag.String("out", "", "write the generated trace to this file")
-		in     = flag.String("in", "", "read and summarize a trace file instead of generating")
-		nprint = flag.Int("print", 0, "print the first N references")
+		out     = flag.String("out", "", "write the generated trace to this file")
+		in      = flag.String("in", "", "read and summarize a trace file instead of generating (format auto-detected)")
+		nprint  = flag.Int("print", 0, "print the first N references")
+		chunked = flag.Bool("chunked", false, "write -out in the chunked delta format (per-chunk CRC headers, skippable)")
 	)
 	flag.Parse()
 
@@ -39,7 +44,10 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		src = trace.ReaderSource(trace.NewReader(f))
+		src, err = openTrace(f)
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		w, err := workload.ParseName(*wname)
 		if err != nil {
@@ -58,19 +66,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		w := trace.NewWriter(f)
+		var write func(trace.Ref) error
+		var finish func() error
+		if *chunked {
+			w := trace.NewChunkWriter(f, 0)
+			write, finish = w.WriteRef, w.Flush
+		} else {
+			w := trace.NewWriter(f)
+			write, finish = w.WriteRef, w.Flush
+		}
 		n := 0
 		for {
 			ref, ok := src.Next()
 			if !ok {
 				break
 			}
-			if err := w.WriteRef(ref); err != nil {
+			if err := write(ref); err != nil {
 				fatal(err)
 			}
 			n++
 		}
-		if err := w.Flush(); err != nil {
+		if err := finish(); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -110,6 +126,17 @@ func main() {
 			fmt.Printf("  %-12s %d\n", c, n)
 		}
 	}
+}
+
+// openTrace sniffs the file header and attaches the matching reader:
+// a bounded-memory FileSource for the chunked format, a flat Reader
+// otherwise.
+func openTrace(f *os.File) (trace.Source, error) {
+	src, err := trace.OpenSource(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", f.Name(), err)
+	}
+	return src, nil
 }
 
 // mergeSources interleaves the per-CPU streams round-robin for

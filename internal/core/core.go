@@ -164,6 +164,14 @@ type RunConfig struct {
 	// primary-cache eviction is attributed to the (evictor, victim)
 	// data-structure pair.
 	TrackConflicts bool
+	// Stream generates the workload on a producer goroutine overlapped
+	// with the simulation, holding only O(NumCPUs × chunk budget) trace
+	// references in memory instead of the whole trace. The simulated
+	// reference sequences are byte-identical to the materialized path,
+	// so Stream is an execution strategy, not a configuration: it is
+	// excluded from CanonicalKey. Incompatible with Monitor (which
+	// needs replayable materialized sources).
+	Stream bool
 	// Monitor, when non-nil, is called with the freshly built simulator
 	// before Run starts, letting callers attach an observer (the
 	// internal/check differential oracle) or inspect the machine.
@@ -196,12 +204,8 @@ type Outcome struct {
 // cycles — the quantity every figure normalizes by.
 func (o *Outcome) OSTime() uint64 { return o.Counters.OSTime() }
 
-// Run executes one configuration. Cancellation of ctx aborts the
-// simulation promptly; the returned error then wraps context.Cause(ctx).
-func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
+// kernelOpt resolves the software-side kernel configuration of a run.
+func kernelOpt(cfg RunConfig) kernel.OptConfig {
 	opt := cfg.System.KernelOpt()
 	if cfg.DeferredCopy {
 		opt.DeferredCopy = true
@@ -209,8 +213,13 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if cfg.PrefDist > 0 {
 		opt.BlockPrefDist = cfg.PrefDist
 	}
-	built := workload.Build(cfg.Workload, opt, cfg.Scale, cfg.Seed)
+	return opt
+}
 
+// machineParams resolves the hardware-side machine parameters of a
+// run: base machine, system overlay, update-set / pure-update
+// overrides, conflict census and progress plumbing.
+func machineParams(cfg RunConfig) sim.Params {
 	var p sim.Params
 	if cfg.Machine != nil {
 		p = *cfg.Machine
@@ -236,6 +245,29 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	}
 	if cfg.Progress != nil {
 		p.Progress = cfg.Progress
+	}
+	return p
+}
+
+// Run executes one configuration. Cancellation of ctx aborts the
+// simulation promptly; the returned error then wraps context.Cause(ctx).
+//
+// With cfg.Stream set the workload is generated concurrently with the
+// simulation in bounded chunks (see workload.Stream); the results are
+// byte-identical to the materialized path. Monitor forces the
+// materialized path regardless, because a monitor may hold the
+// simulator (and its replayable sources) after Run returns.
+func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Stream && cfg.Monitor == nil {
+		return runStreaming(ctx, cfg)
+	}
+
+	built := workload.Build(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed)
+	p := machineParams(cfg)
+	if cfg.Progress != nil {
 		cfg.Progress.SetTotalRefs(uint64(built.TotalRefs()))
 	}
 
@@ -260,6 +292,43 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		Config:    cfg,
 		Counters:  res.Counters,
 		Deferred:  built.Kernel.DeferredCopies(),
+		Refs:      res.Refs,
+		CPUTime:   res.CPUTime,
+		Conflicts: res.Conflicts,
+	}, nil
+}
+
+// runStreaming executes one configuration with generation overlapped
+// with simulation through the chunk pipeline.
+func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	p := machineParams(cfg)
+	sopt := workload.StreamOptions{}
+	if cfg.Progress != nil {
+		sopt.OnProgress = cfg.Progress.GenSample
+	}
+	st := workload.Stream(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, sopt)
+
+	s, err := sim.New(p, st.Sources())
+	if err != nil {
+		st.Abort()
+		return nil, err
+	}
+	res, err := s.Run(ctx)
+	if err != nil {
+		// The producer may be parked on a full pipeline; release it and
+		// recycle whatever it queued before reporting the failure.
+		st.Abort()
+		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
+	}
+	// The simulation drained every source, so the producer has finished
+	// (or panicked — surface that rather than half a result).
+	if err := st.Wait(); err != nil {
+		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
+	}
+	return &Outcome{
+		Config:    cfg,
+		Counters:  res.Counters,
+		Deferred:  st.Kernel.DeferredCopies(),
 		Refs:      res.Refs,
 		CPUTime:   res.CPUTime,
 		Conflicts: res.Conflicts,

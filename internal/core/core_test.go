@@ -200,6 +200,44 @@ func TestRunPureUpdate(t *testing.T) {
 	}
 }
 
+// TestRunStreamingMatchesMaterialized pins the tentpole contract at the
+// core boundary: Stream is an execution strategy, not a configuration —
+// the streamed pipeline must produce the exact counters, reference
+// totals, and deferred-copy stats the materialized path does, across
+// systems with different kernel builds and machine models.
+func TestRunStreamingMatchesMaterialized(t *testing.T) {
+	cfgs := []RunConfig{
+		{Workload: workload.Shell, System: Base, Scale: testScale, Seed: 1},
+		{Workload: workload.TRFD4, System: BCPref, Scale: testScale, Seed: 2},
+		{Workload: workload.Shell, System: BlkDma, Scale: testScale, Seed: 1, DeferredCopy: true},
+		{Workload: workload.TRFD4, System: BCohRelUp, Scale: testScale, Seed: 3, PureUpdate: true},
+	}
+	for _, cfg := range cfgs {
+		mat, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%v materialized: %v", cfg.System, err)
+		}
+		scfg := cfg
+		scfg.Stream = true
+		str, err := Run(context.Background(), scfg)
+		if err != nil {
+			t.Fatalf("%v streaming: %v", cfg.System, err)
+		}
+		if str.Counters != mat.Counters {
+			t.Errorf("%v: streaming counters differ from materialized", cfg.System)
+		}
+		if str.Refs != mat.Refs {
+			t.Errorf("%v: streaming refs %d != materialized %d", cfg.System, str.Refs, mat.Refs)
+		}
+		if str.Deferred != mat.Deferred {
+			t.Errorf("%v: streaming deferred stats differ", cfg.System)
+		}
+		if str.Config.CanonicalKey() != mat.Config.CanonicalKey() {
+			t.Errorf("%v: Stream leaked into CanonicalKey", cfg.System)
+		}
+	}
+}
+
 // TestHeadlineRobustAcrossSeeds guards the paper's headline against
 // seed luck: under three different workload seeds, the full system
 // must reduce OS misses by more than half and never slow the OS down.

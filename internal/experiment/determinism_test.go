@@ -46,6 +46,39 @@ func TestParallelSchedulerDeterminism(t *testing.T) {
 	}
 }
 
+// TestStreamingDeterminism renders every experiment twice — once on the
+// materialized trace path and once on the streaming pipeline — and
+// requires byte-identical reports. This is the streaming determinism
+// tier: Stream changes only when refs exist, never which refs or what
+// they cost, so streamed sweeps remain interchangeable with the golden
+// files. The streaming runner is also parallel, so under -race this
+// doubles as a contention test of the producer/consumer pipeline.
+func TestStreamingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid double render is slow")
+	}
+	cfg := TestConfig()
+	materialized := NewRunner(cfg)
+	scfg := cfg
+	scfg.Stream = true
+	scfg.Parallel = true
+	scfg.Workers = 4
+	streaming := NewRunner(scfg)
+	for _, e := range All() {
+		want, err := e.Render(materialized)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", e.ID, err)
+		}
+		got, err := e.Render(streaming)
+		if err != nil {
+			t.Fatalf("%s streaming: %v", e.ID, err)
+		}
+		if got != want {
+			t.Errorf("%s: streaming render differs from materialized", e.ID)
+		}
+	}
+}
+
 // TestRunConfigsOrderAndProgress checks the scheduler's two output
 // contracts directly: outcomes come back in input order regardless of
 // which worker ran them, and a shared Progress accumulates every

@@ -35,6 +35,12 @@ type Config struct {
 	// Workers is the scheduler width when Parallel is set; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Stream generates each workload concurrently with its simulation
+	// in bounded chunks (core.RunConfig.Stream) instead of
+	// materializing it first. Results are byte-identical either way —
+	// pinned by the streaming determinism tier — so this only trades
+	// peak memory and wall clock.
+	Stream bool
 }
 
 // DefaultConfig returns the configuration used for the published
@@ -123,7 +129,11 @@ func (r *Runner) Stats() CacheStats {
 // configFor is the base configuration of one (workload, system) run
 // under the Runner's scale and seed.
 func (r *Runner) configFor(w workload.Name, sys core.System) core.RunConfig {
-	return core.RunConfig{Workload: w, System: sys, Scale: r.cfg.Scale, Seed: r.cfg.Seed}
+	return core.RunConfig{
+		Workload: w, System: sys,
+		Scale: r.cfg.Scale, Seed: r.cfg.Seed,
+		Stream: r.cfg.Stream,
+	}
 }
 
 // Outcome returns the (cached) outcome of a workload under a system on

@@ -33,18 +33,31 @@ type OptConfig struct {
 	HotSpotPrefetch bool
 }
 
-// Emitter accumulates the reference stream of one processor.
+// Emitter accumulates the reference stream of one processor. In the
+// materialized path Refs simply grows for the whole build; a streaming
+// producer instead sets Flush/FlushAt so the buffer is handed off in
+// bounded chunks as it fills.
 type Emitter struct {
 	// CPU stamps every emitted reference.
 	CPU uint8
-	// Refs is the stream built so far.
+	// Refs is the stream built (or buffered, when streaming) so far.
 	Refs []trace.Ref
+	// FlushAt, when positive and Flush is set, bounds Refs: an emit
+	// that leaves len(Refs) >= FlushAt hands the buffer to Flush.
+	FlushAt int
+	// Flush receives the filled buffer and returns the buffer to
+	// continue emitting into (typically a fresh pooled batch; an
+	// aborting flush may return refs[:0] to discard in place). Kernel
+	// services never read back emitted references, so flushing at any
+	// emit boundary is safe.
+	Flush func(refs []trace.Ref) []trace.Ref
 }
 
 // Emit appends one reference, stamping the CPU.
 func (e *Emitter) Emit(r trace.Ref) {
 	r.CPU = e.CPU
 	e.Refs = append(e.Refs, r)
+	e.maybeFlush()
 }
 
 // EmitBatch appends a chunk of references in one grow-and-copy,
@@ -56,6 +69,26 @@ func (e *Emitter) EmitBatch(rs []trace.Ref) {
 	e.Refs = append(e.Refs, rs...)
 	for i := base; i < len(e.Refs); i++ {
 		e.Refs[i].CPU = e.CPU
+	}
+	e.maybeFlush()
+}
+
+// maybeFlush hands the buffer to the Flush hook once it reaches the
+// flush threshold. Nil-checked first so the materialized path pays a
+// single predictable branch.
+func (e *Emitter) maybeFlush() {
+	if e.Flush != nil && e.FlushAt > 0 && len(e.Refs) >= e.FlushAt {
+		e.Refs = e.Flush(e.Refs)
+	}
+}
+
+// FlushPending hands any buffered references to the Flush hook
+// regardless of the threshold. Streaming producers call it at round
+// boundaries and at the end of generation so the tail of the stream is
+// delivered.
+func (e *Emitter) FlushPending() {
+	if e.Flush != nil && len(e.Refs) > 0 {
+		e.Refs = e.Flush(e.Refs)
 	}
 }
 

@@ -196,9 +196,13 @@ type SweepResult struct {
 	Points   []SweepPointResult `json:"points"`
 }
 
-// ProgressView is the progress section of a job's JSON view.
+// ProgressView is the progress section of a job's JSON view. GenRefs
+// tracks the workload generator: equal to TotalRefs for materialized
+// runs, advancing between Refs and TotalRefs while a streaming run's
+// producer works ahead of its simulation.
 type ProgressView struct {
 	Refs         uint64  `json:"refs"`
+	GenRefs      uint64  `json:"gen_refs"`
 	TotalRefs    uint64  `json:"total_refs"`
 	Fraction     float64 `json:"fraction"`
 	RoundsDone   int     `json:"rounds_done"`
@@ -264,6 +268,7 @@ func (j *Job) view(deduped bool) *JobView {
 	rt := roundsTotal(j.Cfg)
 	pv := &ProgressView{
 		Refs:         snap.Refs,
+		GenRefs:      snap.GenRefs,
 		TotalRefs:    snap.TotalRefs,
 		Fraction:     snap.Fraction(),
 		RoundsTotal:  rt,

@@ -78,7 +78,12 @@ type RunRequest struct {
 	Seed         int64           `json:"seed,omitempty"`
 	DeferredCopy bool            `json:"deferred_copy,omitempty"`
 	PureUpdate   bool            `json:"pure_update,omitempty"`
-	Machine      *MachineRequest `json:"machine,omitempty"`
+	// Stream generates the workload concurrently with the simulation in
+	// bounded chunks. Results are byte-identical to a materialized run
+	// (the canonical key ignores this flag), so it only trades the
+	// job's peak memory and wall clock.
+	Stream  bool            `json:"stream,omitempty"`
+	Machine *MachineRequest `json:"machine,omitempty"`
 	// TimeoutMS optionally tightens the server's per-job deadline; it
 	// can never extend it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -97,6 +102,7 @@ type SweepRequest struct {
 	L2Line    uint64 `json:"l2_line,omitempty"`
 	Scale     int    `json:"scale,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
+	Stream    bool   `json:"stream,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
@@ -157,6 +163,7 @@ func (rr *RunRequest) toConfig() (core.RunConfig, error) {
 		Seed:         rr.Seed,
 		DeferredCopy: rr.DeferredCopy,
 		PureUpdate:   rr.PureUpdate,
+		Stream:       rr.Stream,
 	}
 	if rr.Machine != nil {
 		p, err := rr.Machine.toParams()
@@ -365,7 +372,8 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 				Label:  g.label,
 				System: sys,
 				Cfg: core.RunConfig{
-					Workload: w, System: sys, Scale: sr.Scale, Seed: sr.Seed, Machine: &machine,
+					Workload: w, System: sys, Scale: sr.Scale, Seed: sr.Seed,
+					Machine: &machine, Stream: sr.Stream,
 				},
 			})
 		}

@@ -135,6 +135,37 @@ func TestRunJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestStreamingRun submits a streaming run and checks the service-level
+// contract: the job completes with full counters, the progress view
+// reports generation alongside simulation (gen_refs), and — because
+// Stream is an execution strategy excluded from the canonical key — a
+// later materialized submit of the same configuration dedupes onto the
+// streamed job's result.
+func TestStreamingRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	body := fmt.Sprintf(`{"workload":"TRFD_4","system":"Blk_Dma","scale":%d,"seed":5,"stream":true}`, testScale)
+	status, sub, _ := postJSON(t, ts.URL+"/v1/runs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", status)
+	}
+	v := waitJob(t, ts.URL, sub.ID)
+	if v.State != JobDone {
+		t.Fatalf("streaming job finished %s (error %q), want done", v.State, v.Error)
+	}
+	if v.Result == nil || v.Result.Refs == 0 || v.Result.Cycles == 0 {
+		t.Fatalf("empty streaming result: %+v", v.Result)
+	}
+	if v.Progress == nil || v.Progress.GenRefs != v.Progress.Refs {
+		t.Fatalf("finished progress %+v, want gen_refs == refs", v.Progress)
+	}
+
+	mat := fmt.Sprintf(`{"workload":"TRFD_4","system":"Blk_Dma","scale":%d,"seed":5}`, testScale)
+	status, again, _ := postJSON(t, ts.URL+"/v1/runs", mat)
+	if status != http.StatusOK || !again.Deduped || again.ID != sub.ID {
+		t.Errorf("materialized submit got HTTP %d %+v, want dedup onto streamed job %s", status, again, sub.ID)
+	}
+}
+
 func TestDedupAndDistinctConfigs(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
 	_, first, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))

@@ -13,6 +13,7 @@ import "sync/atomic"
 // the simulated configuration: it is excluded from canonical run keys.
 type Progress struct {
 	refs      atomic.Uint64
+	genRefs   atomic.Uint64
 	totalRefs atomic.Uint64
 	osMisses  atomic.Uint64
 	cycles    atomic.Uint64
@@ -26,8 +27,14 @@ type Progress struct {
 type ProgressSnapshot struct {
 	// Refs is the number of trace references processed so far.
 	Refs uint64
+	// GenRefs is the number of references generated so far. Under a
+	// materialized build it equals TotalRefs from the start; under a
+	// streaming build it advances round by round as the producer runs
+	// ahead of (and overlapped with) the simulation.
+	GenRefs uint64
 	// TotalRefs is the total reference count of the built workload
-	// (0 until the workload generator reports it).
+	// (0 until the workload generator reports or projects it; a
+	// streaming build projects it from the first generated round).
 	TotalRefs uint64
 	// OSReadMisses is the live OS primary-data-cache read-miss count.
 	OSReadMisses uint64
@@ -39,13 +46,29 @@ type ProgressSnapshot struct {
 	Done bool
 }
 
-// SetTotalRefs records the workload's total reference count.
-func (p *Progress) SetTotalRefs(n uint64) { p.totalRefs.Store(n) }
+// SetTotalRefs records the workload's total reference count. A
+// materialized build has generated every reference by the time the
+// total is known, so the generation counter advances with it.
+func (p *Progress) SetTotalRefs(n uint64) {
+	p.totalRefs.Store(n)
+	p.genRefs.Store(n)
+}
+
+// GenSample publishes one generation-side observation from a streaming
+// workload producer: references generated so far plus the projected
+// trace total (0 while still unknown).
+func (p *Progress) GenSample(generated, projectedTotal uint64) {
+	p.genRefs.Store(generated)
+	if projectedTotal > 0 {
+		p.totalRefs.Store(projectedTotal)
+	}
+}
 
 // Snapshot returns the current progress.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	return ProgressSnapshot{
 		Refs:         p.refs.Load(),
+		GenRefs:      p.genRefs.Load(),
 		TotalRefs:    p.totalRefs.Load(),
 		OSReadMisses: p.osMisses.Load(),
 		Cycles:       p.cycles.Load(),
@@ -76,6 +99,9 @@ func (s ProgressSnapshot) Fraction() float64 {
 // (which stores absolute values for a single run), Publish accumulates.
 func (p *Progress) Publish(refs, osMisses, cycles uint64) {
 	p.refs.Add(refs)
+	// A completed run has generated exactly what it simulated, so the
+	// aggregate generation counter advances in step.
+	p.genRefs.Add(refs)
 	p.osMisses.Add(osMisses)
 	p.cycles.Add(cycles)
 }

@@ -64,6 +64,18 @@ func (w *Writer) WriteRef(r Ref) error {
 		}
 		w.wrote = true
 	}
+	w.buf = appendRecord(w.buf[:0], &w.prevAddr, r)
+	w.count++
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// appendRecord encodes one reference as a varint record, delta-encoding
+// the address against the previous record of the same CPU. It is the
+// shared record format of the flat stream codec (Writer/Reader) and the
+// chunked codec (ChunkWriter/ChunkReader); the chunked codec resets the
+// prevAddr table at every chunk boundary so chunks stay self-contained.
+func appendRecord(b []byte, prevAddr *[256]uint64, r Ref) []byte {
 	flags := uint64(r.Op)&7 |
 		uint64(r.Kind)&3<<3 |
 		uint64(r.Class)&15<<5 |
@@ -84,12 +96,11 @@ func (w *Writer) WriteRef(r Ref) error {
 	if r.Aux != 0 {
 		flags |= flagHasAux
 	}
-	b := w.buf[:0]
 	b = append(b, r.CPU)
 	b = binary.AppendUvarint(b, flags)
-	delta := int64(r.Addr) - int64(w.prevAddr[r.CPU])
+	delta := int64(r.Addr) - int64(prevAddr[r.CPU])
 	b = binary.AppendVarint(b, delta)
-	w.prevAddr[r.CPU] = r.Addr
+	prevAddr[r.CPU] = r.Addr
 	if r.Block != 0 {
 		b = binary.AppendUvarint(b, uint64(r.Block))
 	}
@@ -105,10 +116,7 @@ func (w *Writer) WriteRef(r Ref) error {
 	if r.Aux != 0 {
 		b = binary.AppendUvarint(b, r.Aux)
 	}
-	w.buf = b
-	w.count++
-	_, err := w.w.Write(b)
-	return err
+	return b
 }
 
 // Count returns the number of references written so far.

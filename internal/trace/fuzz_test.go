@@ -67,6 +67,85 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzChunkCodec exercises the chunked delta codec three ways from one
+// input: a clean encode→decode round trip must reproduce the exact
+// references; a single-byte corruption must never panic and, when it
+// decodes at all, must still yield the original references (the CRC and
+// header validation otherwise reject it); a truncation must never panic
+// and may only recover a chunk-aligned prefix.
+func FuzzChunkCodec(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint64(0x1000), uint64(0), uint16(0), uint8(0), uint16(0))
+	f.Add(uint8(9), uint8(3), uint64(0xfffffffffffff000), uint64(0x2000), uint16(11), uint8(0x80), uint16(5))
+	f.Add(uint8(20), uint8(255), uint64(1), ^uint64(0), uint16(999), uint8(1), uint16(999))
+	f.Fuzz(func(t *testing.T, n, cpuSeed uint8, addrSeed, auxSeed uint64, pos uint16, xor uint8, trunc uint16) {
+		count := int(n%24) + 1
+		refs := make([]Ref, count)
+		for i := range refs {
+			refs[i] = Ref{
+				Addr:  addrSeed + uint64(i)*(auxSeed|1),
+				CPU:   cpuSeed + uint8(i%3),
+				Op:    Op(i) & 7,
+				Kind:  Kind(i) & 3,
+				Class: DataClass(i) & 15,
+			}
+			if i%4 == 1 {
+				refs[i].Aux = auxSeed
+				refs[i].Len = uint32(addrSeed)
+			}
+			if i%4 == 2 {
+				refs[i].Block = uint32(auxSeed >> 5)
+				refs[i].Spot = uint16(addrSeed >> 3)
+			}
+		}
+		enc := encodeChunked(t, refs, 5) // multi-chunk for count > 5
+
+		// 1. Round trip.
+		got, err := decodeChunked(enc)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(got) != count {
+			t.Fatalf("round trip: %d refs, want %d", len(got), count)
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("round trip ref %d: got %+v, want %+v", i, got[i], refs[i])
+			}
+		}
+
+		// 2. Single-byte corruption: must error or decode unchanged,
+		// never panic.
+		if xor != 0 {
+			bad := append([]byte(nil), enc...)
+			bad[int(pos)%len(bad)] ^= xor
+			if mangled, err := decodeChunked(bad); err == nil {
+				if len(mangled) != count {
+					t.Fatalf("corruption decoded cleanly to %d refs, want %d", len(mangled), count)
+				}
+				for i := range refs {
+					if mangled[i] != refs[i] {
+						t.Fatalf("corruption decoded cleanly to different ref %d", i)
+					}
+				}
+			}
+		}
+
+		// 3. Truncation: must error or recover a chunk-aligned prefix,
+		// never panic.
+		cut := int(trunc) % (len(enc) + 1)
+		if prefix, err := decodeChunked(enc[:cut]); err == nil {
+			if len(prefix) > count {
+				t.Fatalf("truncation decoded %d refs from %d", len(prefix), count)
+			}
+			for i := range prefix {
+				if prefix[i] != refs[i] {
+					t.Fatalf("truncated decode diverged at ref %d", i)
+				}
+			}
+		}
+	})
+}
+
 // FuzzDecodeRobust feeds arbitrary bytes to the decoder: it must
 // terminate with a clean error (never panic, never loop), and inputs
 // that do not start with the trace magic must report ErrBadMagic.

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oscachesim/internal/kernel"
+	"oscachesim/internal/trace"
+)
+
+// Streaming workload generation. Stream runs the same generator as
+// Build on a producer goroutine, but instead of materializing the
+// whole trace it hands fixed-size pooled chunks to a
+// trace.ChunkPipeline as they fill. The simulator consumes the
+// pipeline's per-CPU ChunkSources concurrently, so generation overlaps
+// simulation and peak trace memory is O(NumCPUs × budget) instead of
+// O(scale). The generator itself is untouched — both paths drive the
+// identical round loop with identical RNG streams, so the reference
+// sequences (and therefore the simulated reports) are byte-identical.
+
+// DefaultChunkRefs is the per-chunk reference count when StreamOptions
+// does not choose. At the default profile rates one chunk is roughly
+// one scheduling round per CPU.
+const DefaultChunkRefs = 1 << 13
+
+// StreamOptions tunes the streaming pipeline. The zero value is ready
+// to use.
+type StreamOptions struct {
+	// ChunkRefs is the flush granularity per CPU (0 = DefaultChunkRefs).
+	ChunkRefs int
+	// BudgetRefs is the per-CPU soft cap on references queued in the
+	// pipeline (0 = 4 × ChunkRefs). See trace.ChunkPipeline for the
+	// soft-budget semantics.
+	BudgetRefs int
+	// OnProgress, when set, is called once per generated round with the
+	// references sent so far and a projected total (estimated from the
+	// first round; 0 until then). Called from the producer goroutine.
+	OnProgress func(generated, projectedTotal uint64)
+}
+
+// Streamed is an in-flight streaming workload build: the producer
+// goroutine generating the trace plus the pipeline the simulator
+// consumes. Exactly one simulation may consume a Streamed, and the
+// consumer must finish with either Wait (after draining the sources)
+// or Abort (after an error) — both are required for goroutine and pool
+// hygiene.
+type Streamed struct {
+	Name   Name
+	Kernel *kernel.Kernel
+
+	pipe *trace.ChunkPipeline
+	done chan struct{}
+	err  error
+}
+
+// Stream starts generating a workload trace on a producer goroutine,
+// deterministically from the seed — the same (name, opt, scale, seed)
+// produces the same per-CPU reference sequences as Build.
+func Stream(name Name, opt kernel.OptConfig, scale int, seed int64, sopt StreamOptions) *Streamed {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	chunk := sopt.ChunkRefs
+	if chunk <= 0 {
+		chunk = DefaultChunkRefs
+	}
+	budget := sopt.BudgetRefs
+	if budget <= 0 {
+		budget = 4 * chunk
+	}
+	st := &Streamed{
+		Name:   name,
+		Kernel: kernel.New(opt),
+		pipe:   trace.NewChunkPipeline(NumCPUs, budget),
+		done:   make(chan struct{}),
+	}
+	go st.produce(scale, seed, chunk, sopt.OnProgress)
+	return st
+}
+
+// produce runs the generator round loop, flushing chunks into the
+// pipeline. It always closes the pipeline and the done channel, even
+// on panic, so consumers never hang on a dead producer.
+func (st *Streamed) produce(scale int, seed int64, chunk int, onProgress func(uint64, uint64)) {
+	defer close(st.done)
+	defer st.pipe.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			st.err = fmt.Errorf("workload: stream producer panicked: %v", r)
+		}
+	}()
+
+	g := &generator{
+		p:      ProfileFor(st.Name),
+		k:      st.Kernel,
+		seed:   seed,
+		ems:    make([]*kernel.Emitter, NumCPUs),
+		rngs:   make([]*rand.Rand, NumCPUs),
+		cursor: make([]uint64, NumCPUs),
+		proc:   make([]int, NumCPUs),
+	}
+	aborted := false
+	for c := 0; c < NumCPUs; c++ {
+		cpu := c
+		g.ems[c] = &kernel.Emitter{
+			CPU:     uint8(c),
+			Refs:    trace.GetBatch(chunk),
+			FlushAt: chunk,
+			Flush: func(refs []trace.Ref) []trace.Ref {
+				if aborted {
+					return refs[:0]
+				}
+				if !st.pipe.Send(cpu, refs) {
+					// Consumer aborted: discard in place and keep
+					// reusing this one buffer so the rest of the round
+					// generates into it without queueing anywhere.
+					aborted = true
+					return refs[:0]
+				}
+				return trace.GetBatch(chunk)
+			},
+		}
+		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
+		g.proc[c] = c*procsPerCPU + 1
+	}
+	g.global = rand.New(rand.NewSource(seed * 7919))
+
+	var projected uint64
+	for round := 0; round < scale; round++ {
+		g.round(round)
+		// Flush every emitter at the round boundary so a consumer never
+		// starves on references that are generated but still buffered.
+		for c := 0; c < NumCPUs; c++ {
+			g.ems[c].FlushPending()
+		}
+		if aborted {
+			return
+		}
+		if round == 0 {
+			// Rounds are statistically alike; the first one projects
+			// the total for progress reporting.
+			projected = st.pipe.Sent() * uint64(scale)
+		}
+		if onProgress != nil {
+			onProgress(st.pipe.Sent(), projected)
+		}
+	}
+	// The final buffers were flushed at the last round boundary; return
+	// the (now empty) emit buffers to the pool.
+	for c := 0; c < NumCPUs; c++ {
+		trace.PutBatch(g.ems[c].Refs)
+		g.ems[c].Refs = nil
+	}
+}
+
+// Sources returns the per-CPU consumer endpoints. Unlike
+// Built.Sources, the stream is single-use: call Sources once and drive
+// every source to exhaustion (or Abort).
+func (st *Streamed) Sources() []trace.Source {
+	srcs := make([]trace.Source, NumCPUs)
+	for c := range srcs {
+		srcs[c] = st.pipe.Source(c)
+	}
+	return srcs
+}
+
+// Wait blocks until the producer goroutine has finished and returns
+// its error, if any. Call it after the simulation has drained the
+// sources; the Kernel's deferred-copy counters are stable only after
+// Wait returns.
+func (st *Streamed) Wait() error {
+	<-st.done
+	return st.err
+}
+
+// Abort tears the stream down early: the producer is released (it
+// stops generating at the next flush), queued chunks return to the
+// trace pool, and Abort blocks until the producer goroutine has
+// exited. Safe to call only once the simulation consuming the sources
+// has returned.
+func (st *Streamed) Abort() {
+	st.pipe.Abort()
+	<-st.done
+}
+
+// TotalRefs returns the number of references generated so far; after
+// Wait it is the total trace length.
+func (st *Streamed) TotalRefs() uint64 { return st.pipe.Sent() }
+
+// PeakPendingRefs reports the pipeline's high-water mark of resident
+// references — the streaming memory ceiling, which stays O(budget)
+// regardless of scale.
+func (st *Streamed) PeakPendingRefs() int { return st.pipe.PeakPendingRefs() }

@@ -19,10 +19,22 @@ const NumCPUs = 4
 // Built is a generated workload: per-CPU reference streams plus the
 // kernel that produced them (whose deferred-copy counters feed
 // Table 4).
+//
+// Ownership rule: the Built owns its PerCPU backing arrays until
+// Release, and Release transfers them to the trace pool. Sources
+// hands out views of those arrays, not copies — so Release must not
+// be called while a simulation is still consuming a Source, and
+// nothing derived from the Built may be used afterwards. Release is
+// idempotent; calling it twice (including on copies sharing the same
+// PerCPU header) is a no-op the second time.
 type Built struct {
 	Name   Name
 	PerCPU [][]trace.Ref
 	Kernel *kernel.Kernel
+
+	// released latches the pool hand-off so a second Release (or one
+	// through a copied Built) cannot double-free a backing array.
+	released *bool
 }
 
 // Sources wraps the per-CPU streams as trace sources. Each call
@@ -48,10 +60,21 @@ func (b *Built) TotalRefs() int {
 // clears them. Callers that are done simulating a workload should
 // release it so the next Build reuses the multi-megabyte backing
 // arrays; after Release the Built (and any Source derived from it)
-// must not be used.
+// must not be used. Release is idempotent: the second and later calls
+// (through this Built or a copy of it) do nothing, so a double release
+// can no longer hand the same backing array to two future builds.
 func (b *Built) Release() {
+	if b.released != nil {
+		if *b.released {
+			return
+		}
+		*b.released = true
+	}
 	for i, refs := range b.PerCPU {
 		trace.PutBatch(refs)
+		// Nil the slot through the shared outer array as a second
+		// line of defense for hand-rolled Built values without the
+		// latch.
 		b.PerCPU[i] = nil
 	}
 }
@@ -95,7 +118,7 @@ func Build(name Name, opt kernel.OptConfig, scale int, seed int64) *Built {
 	for c := 0; c < NumCPUs; c++ {
 		per[c] = g.ems[c].Refs
 	}
-	return &Built{Name: name, PerCPU: per, Kernel: k}
+	return &Built{Name: name, PerCPU: per, Kernel: k, released: new(bool)}
 }
 
 // generator carries the mutable state of one build.

@@ -134,6 +134,13 @@ func WithMachine(m MachineParams) Option {
 // simulation is cycle-ordered and inherently serial.
 func WithParallelism(p int) Option { return func(s *Sim) { s.workers = p } }
 
+// WithStreaming generates the workload concurrently with the
+// simulation in bounded chunks, so peak trace memory stays
+// O(chunk budget) no matter how large WithScale is. Results are
+// byte-identical to the materialized default; only memory and wall
+// clock change.
+func WithStreaming() Option { return func(s *Sim) { s.cfg.Stream = true } }
+
 // WithConfig replaces the whole run configuration (study knobs like
 // DeferredCopy or PureUpdate); options applied after it still take
 // effect.
@@ -168,6 +175,7 @@ func (s *Sim) Run(ctx context.Context) (*Outcome, error) { return core.Run(ctx, 
 func (s *Sim) Compare(ctx context.Context, systems ...System) ([]*Outcome, error) {
 	r := experiment.NewRunnerContext(ctx, experiment.Config{
 		Scale: s.cfg.Scale, Seed: s.cfg.Seed, Parallel: true, Workers: s.workers,
+		Stream: s.cfg.Stream,
 	})
 	cfgs := make([]core.RunConfig, len(systems))
 	for i, sys := range systems {
