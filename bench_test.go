@@ -150,12 +150,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 // BenchmarkEndToEndRun measures a complete run — workload generation
-// plus simulation — through the public facade.
+// plus simulation — through the public options API.
 func BenchmarkEndToEndRun(b *testing.B) {
 	b.ReportAllocs()
 	var refs uint64
 	for i := 0; i < b.N; i++ {
-		o, err := RunContext(context.Background(), RunConfig{Workload: TRFD4, System: Base, Scale: benchScale, Seed: 1})
+		o, err := New(TRFD4, Base, WithScale(benchScale), WithSeed(1)).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

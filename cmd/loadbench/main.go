@@ -26,11 +26,12 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oscachesim/internal/obs"
 )
 
 func main() {
@@ -55,9 +56,14 @@ func main() {
 	client := &http.Client{Timeout: 30 * time.Second}
 	var (
 		okCount, errCount, dedupCount, retries atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
+		mu  sync.Mutex
+		max time.Duration
 	)
+	// End-to-end latency goes into the same fixed-bucket histogram type
+	// the daemon uses for its stage and request timings, so loadbench's
+	// percentiles and a scraped ossimd dashboard estimate quantiles the
+	// same way. The histogram is lock-free; only max needs the mutex.
+	latency := obs.NewHistogram(obs.DurationBuckets())
 	work := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -76,8 +82,11 @@ func main() {
 				if deduped {
 					dedupCount.Add(1)
 				}
+				latency.ObserveDuration(lat)
 				mu.Lock()
-				latencies = append(latencies, lat)
+				if lat > max {
+					max = lat
+				}
 				mu.Unlock()
 			}
 		}()
@@ -89,20 +98,16 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	snap := latency.Snapshot()
 	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
+		return time.Duration(snap.Quantile(p) * float64(time.Second))
 	}
 	fmt.Printf("loadbench: %d requests in %s (%.1f req/s), %d ok, %d errors, %d deduped, %d 429-retries\n",
 		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(),
 		okCount.Load(), errCount.Load(), dedupCount.Load(), retries.Load())
 	fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
 		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
-		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+		pct(0.99).Round(time.Millisecond), max.Round(time.Millisecond))
 
 	if body, err := get(client, *addr+"/v1/metrics"); err == nil {
 		fmt.Printf("metrics: %s", body)

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	ossim [-workload TRFD_4] [-system Base] [-scale N] [-seed N] [-check]
+//	ossim -v           # append the per-stage timing breakdown
+//	ossim -stream -v   # overlap generation with simulation; report stalls
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"oscachesim/internal/check"
 	"oscachesim/internal/core"
@@ -33,6 +36,8 @@ func main() {
 		pureUp  = flag.Bool("pure-update", false, "use the update protocol on every page")
 		tfile   = flag.String("trace", "", "simulate this captured trace file instead of generating a workload")
 		docheck = flag.Bool("check", false, "run the differential oracle in lockstep and fail on any divergence")
+		stream  = flag.Bool("stream", false, "generate the workload concurrently with the simulation in bounded chunks (identical output, flat memory)")
+		verbose = flag.Bool("v", false, "append the per-stage timing breakdown (and generator stalls when streaming)")
 	)
 	flag.Parse()
 
@@ -44,7 +49,7 @@ func main() {
 		fatal(err)
 	}
 	if *tfile != "" {
-		runTraceFile(ctx, *tfile, sys, *docheck)
+		runTraceFile(ctx, *tfile, sys, *docheck, *verbose)
 		return
 	}
 	w, err := workload.ParseName(*wname)
@@ -53,7 +58,7 @@ func main() {
 	}
 	cfg := core.RunConfig{
 		Workload: w, System: sys, Scale: *scale, Seed: *seed,
-		DeferredCopy: *dcopy, PureUpdate: *pureUp,
+		DeferredCopy: *dcopy, PureUpdate: *pureUp, Stream: *stream,
 	}
 	var k *check.Checker
 	if *docheck {
@@ -63,7 +68,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	renderStart := time.Now()
 	report(o)
+	if *verbose {
+		reportStages(o, time.Since(renderStart))
+	}
 	if *docheck {
 		if err := verifyRun(k, o); err != nil {
 			fatal(err)
@@ -95,7 +104,7 @@ func verifyRun(k *check.Checker, o *core.Outcome) error {
 // operation — under the chosen system's hardware configuration. The
 // software-side optimizations are whatever the trace was captured
 // with.
-func runTraceFile(ctx context.Context, path string, system core.System, docheck bool) {
+func runTraceFile(ctx context.Context, path string, system core.System, docheck, verbose bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -120,6 +129,7 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck 
 	if docheck {
 		k = check.Attach(s)
 	}
+	simStart := time.Now()
 	res, err := s.Run(ctx)
 	if err != nil {
 		fatal(err)
@@ -129,8 +139,13 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck 
 		Counters: res.Counters,
 		Refs:     res.Refs,
 		CPUTime:  res.CPUTime,
+		Stages:   core.StageTimings{Simulate: time.Since(simStart)},
 	}
+	renderStart := time.Now()
 	report(o)
+	if verbose {
+		reportStages(o, time.Since(renderStart))
+	}
 	if docheck {
 		if err := verifyRun(k, o); err != nil {
 			fatal(err)
@@ -142,6 +157,29 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ossim:", err)
 	os.Exit(1)
+}
+
+// reportStages prints the -v timing appendix using the same stage
+// taxonomy the ossimd daemon exports as ossimd_run_stage_seconds, with
+// this invocation's report rendering as the render stage. Stream time
+// overlaps simulation, so the total excludes it; generator stalls show
+// how much of the simulate stage was spent waiting on generation.
+func reportStages(o *core.Outcome, render time.Duration) {
+	st := o.Stages
+	st.Render = render
+	fmt.Printf("\nStage breakdown (total %s):\n", st.Total().Round(time.Microsecond))
+	if st.Build > 0 {
+		fmt.Printf("  build     %12s\n", st.Build.Round(time.Microsecond))
+	}
+	if st.Stream > 0 {
+		fmt.Printf("  stream    %12s  (overlapped with simulate)\n", st.Stream.Round(time.Microsecond))
+	}
+	fmt.Printf("  simulate  %12s\n", st.Simulate.Round(time.Microsecond))
+	fmt.Printf("  render    %12s\n", st.Render.Round(time.Microsecond))
+	if st.Stream > 0 {
+		fmt.Printf("  generator stalls: %d (%s blocked in the pipeline)\n",
+			o.GenStalls, o.GenStallTime.Round(time.Microsecond))
+	}
 }
 
 func report(o *core.Outcome) {

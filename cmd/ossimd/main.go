@@ -7,18 +7,24 @@
 // Usage:
 //
 //	ossimd -addr :8080 -workers 4 -queue 64 -job-timeout 5m
+//	ossimd -debug-addr 127.0.0.1:6060   # opt-in pprof on a separate listener
 //
 // API (see README.md for the full reference):
 //
 //	POST /v1/runs              submit one simulation
 //	POST /v1/sweeps            submit a geometry/system grid
-//	GET  /v1/runs/{id}         job status and result
+//	GET  /v1/runs/{id}         job status and result (with stage breakdown)
 //	GET  /v1/runs/{id}/stream  NDJSON progress stream
 //	GET  /healthz              liveness
-//	GET  /v1/metrics           expvar counters
+//	GET  /v1/metrics           JSON counters; Prometheus text exposition
+//	                           under ?format=prometheus or Accept: text/plain
 //
-// Legacy unversioned paths (/v1/run, /v1/sweep, /v1/jobs/{id}[/stream],
-// /metrics) answer 308 Permanent Redirect for one release.
+// The pre-v1 paths (/v1/run, /v1/sweep, /v1/jobs/{id}[/stream],
+// /metrics) have been removed; they answer 404 with a JSON error naming
+// the v1 successor.
+//
+// Logs are structured (log/slog): request records with method, path,
+// status and latency, and job lifecycle records keyed by job id.
 package main
 
 import (
@@ -26,8 +32,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,22 +46,51 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional pprof listener address (e.g. 127.0.0.1:6060); empty disables")
 		workers    = flag.Int("workers", 4, "simulation worker pool size")
 		queue      = flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline (requests may tighten, never extend)")
 		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "maximum wait for in-flight jobs at shutdown")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ossimd: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
+		Logger:     logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof surface is opt-in and lives on its own listener, so
+	// profiling access can be firewalled separately from the API (bind
+	// it to loopback) and profile downloads never contend with API
+	// request handling on the main listener's accept queue.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	// SIGTERM / Ctrl-C starts a graceful drain: stop accepting,
@@ -64,32 +100,49 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ossimd: listening on %s (workers=%d queue=%d job-timeout=%s)",
-			*addr, *workers, *queue, *jobTimeout)
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"queue", *queue, "job_timeout", jobTimeout.String())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
 		// Listener failed before any signal.
-		log.Fatalf("ossimd: %v", err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("ossimd: shutdown signal received, draining")
+	logger.Info("shutdown signal received, draining")
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("ossimd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Drain(shutCtx); err != nil {
-		log.Printf("ossimd: drain incomplete: %v", err)
+		logger.Error("drain incomplete", "error", err)
 		os.Exit(1)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("ossimd: serve: %v", err)
+		logger.Error("serve", "error", err)
 		os.Exit(1)
 	}
-	fmt.Println("ossimd: drained, exiting")
+	logger.Info("drained, exiting")
+}
+
+// newLogger builds the daemon's slog.Logger from the CLI flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
@@ -43,6 +44,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "fan grid points across workers (output is identical to serial)")
 		workers  = flag.Int("workers", 0, "worker count when parallel (0 = GOMAXPROCS)")
 		stream   = flag.Bool("stream", false, "generate each workload concurrently with its simulation in bounded chunks (identical output, flat memory)")
+		verbose  = flag.Bool("v", false, "append per-worker scheduler stats (busy/idle time, runs, steals)")
 	)
 	flag.Parse()
 	if (*sizes == "") == (*lines == "") {
@@ -150,6 +152,13 @@ func main() {
 	}
 	st := r.Stats()
 	fmt.Printf("-- %d simulations, %d cache hits\n", st.Executions, st.Hits+st.Joins)
+	if *verbose {
+		for i, ws := range r.LastSchedulerStats() {
+			fmt.Printf("   worker %d: runs=%d steals=%d busy=%s idle=%s\n",
+				i, ws.Runs, ws.Steals,
+				ws.Busy.Round(time.Millisecond), ws.Idle.Round(time.Millisecond))
+		}
+	}
 }
 
 func fatal(err error) {

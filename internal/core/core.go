@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"oscachesim/internal/kernel"
 	"oscachesim/internal/memory"
@@ -181,7 +182,37 @@ type RunConfig struct {
 	// workload's total reference count, for concurrent progress
 	// reporting. Runtime plumbing: excluded from CanonicalKey.
 	Progress *sim.Progress
+	// OnStages, when non-nil, is called exactly once per actual
+	// simulation execution with the run's final stage timings — cached
+	// or deduplicated results do not re-fire it, so subscribers (the
+	// ossimd stage histograms) attribute wall clock only to work that
+	// happened. Runtime plumbing: excluded from CanonicalKey.
+	OnStages func(StageTimings)
 }
+
+// StageTimings is the wall-clock decomposition of one run — the span
+// record the observability layer attributes a run's time with, the way
+// the paper's monitor attributes stall time to miss categories.
+type StageTimings struct {
+	// Build is the materialized workload-generation time (zero for
+	// streaming runs, whose generation overlaps simulation).
+	Build time.Duration
+	// Stream is the streaming producer's wall time, from launch to the
+	// pipeline closing. It overlaps Simulate — the overlap is the
+	// point of streaming — so Total deliberately excludes it.
+	Stream time.Duration
+	// Simulate is the simulator's execution time.
+	Simulate time.Duration
+	// Render is the time spent turning the outcome into its report
+	// (API summary, CLI tables). Zero until a caller that renders
+	// fills it in.
+	Render time.Duration
+}
+
+// Total returns the non-overlapped wall clock of the run:
+// Build + Simulate + Render. Stream is excluded because the producer
+// runs concurrently with Simulate.
+func (t StageTimings) Total() time.Duration { return t.Build + t.Simulate + t.Render }
 
 // Outcome is the result of one run.
 type Outcome struct {
@@ -198,6 +229,14 @@ type Outcome struct {
 	// Conflicts is the (evictor, victim) eviction census, present only
 	// when TrackConflicts was set.
 	Conflicts map[sim.ConflictPair]uint64
+	// Stages is the run's wall-clock decomposition (Render left for the
+	// caller that renders).
+	Stages StageTimings
+	// GenStalls and GenStallTime record how often — and for how long —
+	// a streaming run's producer blocked on a full pipeline queue. Both
+	// are zero for materialized runs.
+	GenStalls    uint64
+	GenStallTime time.Duration
 }
 
 // OSTime returns the operating-system execution time of the run in
@@ -265,7 +304,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		return runStreaming(ctx, cfg)
 	}
 
+	buildStart := time.Now()
 	built := workload.Build(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed)
+	stages := StageTimings{Build: time.Since(buildStart)}
 	p := machineParams(cfg)
 	if cfg.Progress != nil {
 		cfg.Progress.SetTotalRefs(uint64(built.TotalRefs()))
@@ -278,7 +319,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if cfg.Monitor != nil {
 		cfg.Monitor(s, p)
 	}
+	simStart := time.Now()
 	res, err := s.Run(ctx)
+	stages.Simulate = time.Since(simStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
 	}
@@ -288,6 +331,9 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		// release is skipped in that case.
 		built.Release()
 	}
+	if cfg.OnStages != nil {
+		cfg.OnStages(stages)
+	}
 	return &Outcome{
 		Config:    cfg,
 		Counters:  res.Counters,
@@ -295,6 +341,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		Refs:      res.Refs,
 		CPUTime:   res.CPUTime,
 		Conflicts: res.Conflicts,
+		Stages:    stages,
 	}, nil
 }
 
@@ -305,6 +352,7 @@ func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	sopt := workload.StreamOptions{}
 	if cfg.Progress != nil {
 		sopt.OnProgress = cfg.Progress.GenSample
+		sopt.OnStalls = cfg.Progress.GenStallSample
 	}
 	st := workload.Stream(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, sopt)
 
@@ -313,7 +361,9 @@ func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		st.Abort()
 		return nil, err
 	}
+	simStart := time.Now()
 	res, err := s.Run(ctx)
+	simElapsed := time.Since(simStart)
 	if err != nil {
 		// The producer may be parked on a full pipeline; release it and
 		// recycle whatever it queued before reporting the failure.
@@ -325,13 +375,21 @@ func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if err := st.Wait(); err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", cfg.System, cfg.Workload, err)
 	}
+	stages := StageTimings{Stream: st.Elapsed(), Simulate: simElapsed}
+	stalls, stallTime := st.GenStalls()
+	if cfg.OnStages != nil {
+		cfg.OnStages(stages)
+	}
 	return &Outcome{
-		Config:    cfg,
-		Counters:  res.Counters,
-		Deferred:  st.Kernel.DeferredCopies(),
-		Refs:      res.Refs,
-		CPUTime:   res.CPUTime,
-		Conflicts: res.Conflicts,
+		Config:       cfg,
+		Counters:     res.Counters,
+		Deferred:     st.Kernel.DeferredCopies(),
+		Refs:         res.Refs,
+		CPUTime:      res.CPUTime,
+		Conflicts:    res.Conflicts,
+		Stages:       stages,
+		GenStalls:    stalls,
+		GenStallTime: stallTime,
 	}, nil
 }
 

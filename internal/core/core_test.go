@@ -260,3 +260,55 @@ func TestHeadlineRobustAcrossSeeds(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStageTimings pins the stage-timing contract of Run: a
+// materialized run records Build and Simulate (no Stream), a streaming
+// run records Stream and Simulate (no Build), and OnStages fires
+// exactly once with the outcome's own timings.
+func TestRunStageTimings(t *testing.T) {
+	var fired int
+	var got StageTimings
+	cfg := RunConfig{
+		Workload: workload.TRFD4, System: Base, Scale: testScale, Seed: 1,
+		OnStages: func(s StageTimings) { fired++; got = s },
+	}
+	o, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("OnStages fired %d times, want 1", fired)
+	}
+	if got != o.Stages {
+		t.Errorf("OnStages saw %+v, outcome has %+v", got, o.Stages)
+	}
+	if o.Stages.Build <= 0 || o.Stages.Simulate <= 0 {
+		t.Errorf("materialized run missing build/simulate timing: %+v", o.Stages)
+	}
+	if o.Stages.Stream != 0 {
+		t.Errorf("materialized run recorded stream time: %+v", o.Stages)
+	}
+	if total := o.Stages.Total(); total != o.Stages.Build+o.Stages.Simulate {
+		t.Errorf("Total() = %v, want Build+Simulate (Render unset)", total)
+	}
+	if o.GenStalls != 0 || o.GenStallTime != 0 {
+		t.Errorf("materialized run reported gen stalls: %d/%v", o.GenStalls, o.GenStallTime)
+	}
+
+	cfg.OnStages = func(s StageTimings) { fired++; got = s }
+	cfg.Stream = true
+	fired = 0
+	so, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("streaming OnStages fired %d times, want 1", fired)
+	}
+	if so.Stages.Stream <= 0 || so.Stages.Simulate <= 0 {
+		t.Errorf("streaming run missing stream/simulate timing: %+v", so.Stages)
+	}
+	if so.Stages.Build != 0 {
+		t.Errorf("streaming run recorded build time: %+v", so.Stages)
+	}
+}

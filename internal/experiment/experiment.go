@@ -65,10 +65,11 @@ type Runner struct {
 	cfg Config
 	ctx context.Context
 
-	mu       sync.Mutex
-	done     map[string]*core.Outcome
-	inflight map[string]*flight
-	stats    CacheStats
+	mu        sync.Mutex
+	done      map[string]*core.Outcome
+	inflight  map[string]*flight
+	stats     CacheStats
+	lastSched []WorkerStats
 }
 
 // flight is one in-progress simulation; joiners wait on done.

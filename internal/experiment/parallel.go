@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/sim"
@@ -52,6 +53,38 @@ func (d *deque) stealTop() (int, bool) {
 	return i, true
 }
 
+// WorkerStats is one scheduler worker's accounting for the last
+// RunConfigs call: where its wall clock went (running simulations vs
+// idle — queue empty, stealing, or waiting out cancellation) and how
+// much of its work it took from other workers' deques. The same
+// busy/idle attribution the paper applies to processor stall time,
+// applied to the sweep scheduler itself.
+type WorkerStats struct {
+	// Busy is the wall time spent inside simulation runs.
+	Busy time.Duration
+	// Idle is the rest of the worker's lifetime: deque scans, steal
+	// attempts, and the tail wait after its work ran out.
+	Idle time.Duration
+	// Runs is the number of configurations this worker executed.
+	Runs int
+	// Steals is how many of those it took from another worker's deque.
+	Steals int
+}
+
+// LastSchedulerStats returns the per-worker accounting of the most
+// recent RunConfigs call (one entry per worker; a serial run has one).
+// Nil until RunConfigs has completed at least once.
+func (r *Runner) LastSchedulerStats() []WorkerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerStats, len(r.lastSched))
+	copy(out, r.lastSched)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // workers returns the scheduler width for this Runner's config: 1 when
 // parallelism is off, the explicit worker count when one was set, and
 // GOMAXPROCS otherwise.
@@ -80,14 +113,19 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 		n = len(cfgs)
 	}
 	if n <= 1 {
+		start := time.Now()
+		var busy time.Duration
 		for i, cfg := range cfgs {
+			t0 := time.Now()
 			o, err := r.OutcomeConfig(ctx, cfg)
+			busy += time.Since(t0)
 			if err != nil {
 				return nil, err
 			}
 			outs[i] = o
 			publishOutcome(prog, o)
 		}
+		r.recordSched([]WorkerStats{{Busy: busy, Idle: time.Since(start) - busy, Runs: len(cfgs)}})
 		return outs, nil
 	}
 
@@ -110,19 +148,29 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 		errOnce  sync.Once
 		firstErr error
 	)
+	// Each worker writes only its own stats slot, so the accounting adds
+	// no synchronization to the scheduling loop.
+	sched := make([]WorkerStats, n)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			start := time.Now()
+			ws := &sched[self]
+			defer func() { ws.Idle = time.Since(start) - ws.Busy }()
 			for {
 				idx, ok := deques[self].popBottom()
+				stolen := false
 				for off := 1; !ok && off < n; off++ {
 					idx, ok = deques[(self+off)%n].stealTop()
+					stolen = ok
 				}
 				if !ok || ctx.Err() != nil {
 					return
 				}
+				t0 := time.Now()
 				o, err := r.OutcomeConfig(ctx, cfgs[idx])
+				ws.Busy += time.Since(t0)
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -130,12 +178,17 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 					})
 					return
 				}
+				ws.Runs++
+				if stolen {
+					ws.Steals++
+				}
 				outs[idx] = o
 				publishOutcome(prog, o)
 			}
 		}(w)
 	}
 	wg.Wait()
+	r.recordSched(sched)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -145,6 +198,14 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 		return nil, context.Cause(ctx)
 	}
 	return outs, nil
+}
+
+// recordSched stores the per-worker accounting of a finished
+// RunConfigs call for LastSchedulerStats.
+func (r *Runner) recordSched(sched []WorkerStats) {
+	r.mu.Lock()
+	r.lastSched = sched
+	r.mu.Unlock()
 }
 
 // publishOutcome feeds one completed run's totals to an aggregate

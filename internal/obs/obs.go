@@ -1,0 +1,197 @@
+// Package obs is the repository's observability layer: a small,
+// allocation-conscious metrics library — counters, sampled gauges and
+// fixed-bucket histograms collected in a Registry — plus the Prometheus
+// text exposition that publishes a registry over HTTP.
+//
+// The design mirrors the paper's measurement philosophy one level up:
+// the hardware monitor of PAPER.md §2 attributes stall *time* to miss
+// *categories* instead of reporting raw totals, and obs exists so the
+// simulator service can do the same for its own wall clock (build vs
+// stream vs simulate vs render per run, queue wait vs handler latency
+// per request, busy vs steal vs idle per scheduler worker).
+//
+// Two properties shape every type here:
+//
+//   - Hot-path writes never allocate. Counter.Add and
+//     Histogram.Observe are a handful of atomic operations on
+//     pre-sized arrays; attaching them to the simulator's steady state
+//     must not move it off 0 allocs/op (pinned by TestObserveDoesNotAllocate
+//     and the benchdiff CI gate).
+//
+//   - Everything is nil-safe. Instrumented code holds *Counter /
+//     *Histogram fields that may simply be nil when nobody subscribed;
+//     every method no-ops on a nil receiver, so the instrumentation
+//     costs one predictable branch when observability is off. A nil
+//     *Registry likewise hands out nil instruments.
+//
+// Registries are per-component values, not process globals: the ossimd
+// server builds one per Server (its tests run many servers in one
+// process), loadbench builds one per invocation. Nothing here touches
+// expvar's global namespace.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter discards writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Label is one metric dimension ("stage"="simulate"). Metrics with the
+// same name and different labels are distinct series under one family.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the metric families a Registry can hold.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   kind
+
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry is a set of named metrics. It hands out get-or-create
+// instruments keyed by (name, labels) and renders the whole set as
+// Prometheus text exposition. All methods are safe for concurrent use;
+// a nil *Registry hands out nil instruments, which discard writes.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// seriesKey is the identity of one (name, labels) series.
+func seriesKey(name string, labels []Label) string {
+	k := name
+	for _, l := range labels {
+		k += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return k
+}
+
+// lookup returns the series, creating it with mk when absent. It
+// panics when the name is already registered as a different kind —
+// that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, k kind, labels []Label, mk func(*metric)) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	if m, ok := r.index[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, m.kind, k))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, labels: append([]Label(nil), labels...), kind: k}
+	mk(m)
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter returns the counter series (name, labels), creating it on
+// first use. A nil registry returns nil, which discards writes.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindCounter, labels, func(m *metric) {
+		m.counter = new(Counter)
+	})
+	return m.counter
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// exposition time. Registering the same (name, labels) twice keeps the
+// first function. A nil registry ignores the registration.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindGauge, labels, func(m *metric) {
+		m.gauge = fn
+	})
+}
+
+// Histogram returns the histogram series (name, labels) with the given
+// bucket upper bounds, creating it on first use; an existing series
+// keeps its original bounds. A nil registry returns nil, which
+// discards observations.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindHistogram, labels, func(m *metric) {
+		m.hist = NewHistogram(bounds)
+	})
+	return m.hist
+}
+
+// snapshot returns the registered metrics sorted by name (then label
+// order of registration within a name), the grouping the exposition
+// format requires.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}

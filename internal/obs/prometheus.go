@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a Registry. The
+// output is deterministic — families sorted by name, series in
+// registration order within a family, label pairs in registration
+// order — so tests can pin it with a golden string.
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastName := ""
+	for _, m := range r.snapshot() {
+		if m.name != lastName {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			lastName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, labelString(m.labels, "", ""), formatUint(m.counter.Value()))
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, labelString(m.labels, "", ""), formatFloat(m.gauge()))
+		case kindHistogram:
+			writeHistogram(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the le label, then _sum and _count.
+func writeHistogram(b *strings.Builder, m *metric) {
+	s := m.hist.Snapshot()
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %s\n", m.name, labelString(m.labels, "le", le), formatUint(cum))
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", m.name, labelString(m.labels, "", ""), formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %s\n", m.name, labelString(m.labels, "", ""), formatUint(s.Count))
+}
+
+// labelString renders {k="v",...}, appending the extra pair (the
+// histogram le) when its key is non-empty. No labels renders as "".
+func labelString(labels []Label, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func formatUint(v uint64) string   { return strconv.FormatUint(v, 10) }

@@ -64,6 +64,7 @@ type Job struct {
 	err        string
 	result     *RunResult
 	sweep      *SweepResult
+	stages     *StageView
 	pointsDone int
 }
 
@@ -91,16 +92,19 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// setRunning marks the job running.
-func (j *Job) setRunning() {
+// setRunning marks the job running and returns its queue wait — the
+// time between acceptance and a worker picking it up.
+func (j *Job) setRunning() time.Duration {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	return wait
 }
 
 // finishRun completes a run job.
-func (j *Job) finishRun(res *RunResult, err error) {
+func (j *Job) finishRun(res *RunResult, stages *StageView, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	if err != nil {
@@ -109,13 +113,14 @@ func (j *Job) finishRun(res *RunResult, err error) {
 	} else {
 		j.state = JobDone
 		j.result = res
+		j.stages = stages
 	}
 	j.mu.Unlock()
 	close(j.done)
 }
 
 // finishSweep completes a sweep job.
-func (j *Job) finishSweep(res *SweepResult, err error) {
+func (j *Job) finishSweep(res *SweepResult, stages *StageView, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	if err != nil {
@@ -124,6 +129,7 @@ func (j *Job) finishSweep(res *SweepResult, err error) {
 	} else {
 		j.state = JobDone
 		j.sweep = res
+		j.stages = stages
 	}
 	j.mu.Unlock()
 	close(j.done)
@@ -161,6 +167,11 @@ type RunResult struct {
 	BusTransactions uint64  `json:"bus_transactions"`
 	BusBytes        uint64  `json:"bus_bytes"`
 	SimSeconds      float64 `json:"sim_seconds"`
+	// GenStalls and GenStallSeconds are a streaming run's backpressure
+	// record: how often (and for how long) the trace producer blocked
+	// on a full pipeline queue. Absent for materialized runs.
+	GenStalls       uint64  `json:"gen_stalls,omitempty"`
+	GenStallSeconds float64 `json:"gen_stall_seconds,omitempty"`
 }
 
 // summarize renders an outcome as the API's result payload.
@@ -180,6 +191,32 @@ func summarize(o *core.Outcome) *RunResult {
 		BusTransactions: c.Bus.TotalTransactions(),
 		BusBytes:        c.Bus.TotalBytes(),
 		SimSeconds:      float64(c.Cycles) / cpuHz,
+		GenStalls:       o.GenStalls,
+		GenStallSeconds: o.GenStallTime.Seconds(),
+	}
+}
+
+// StageView is the JSON rendering of a run's wall-clock decomposition
+// (core.StageTimings). Build and Stream are mutually exclusive:
+// materialized runs build, streaming runs stream (overlapped with
+// simulation, which is why TotalSeconds excludes stream time). For a
+// sweep job the fields are sums over its points.
+type StageView struct {
+	BuildSeconds    float64 `json:"build_seconds,omitempty"`
+	StreamSeconds   float64 `json:"stream_seconds,omitempty"`
+	SimulateSeconds float64 `json:"simulate_seconds,omitempty"`
+	RenderSeconds   float64 `json:"render_seconds,omitempty"`
+	TotalSeconds    float64 `json:"total_seconds"`
+}
+
+// stageView renders stage timings for the API.
+func stageView(t core.StageTimings) *StageView {
+	return &StageView{
+		BuildSeconds:    t.Build.Seconds(),
+		StreamSeconds:   t.Stream.Seconds(),
+		SimulateSeconds: t.Simulate.Seconds(),
+		RenderSeconds:   t.Render.Seconds(),
+		TotalSeconds:    t.Total().Seconds(),
 	}
 }
 
@@ -228,7 +265,13 @@ type JobView struct {
 	Progress   *ProgressView `json:"progress,omitempty"`
 	Result     *RunResult    `json:"result,omitempty"`
 	Sweep      *SweepResult  `json:"sweep,omitempty"`
-	Error      string        `json:"error,omitempty"`
+	// Stages is the completed job's wall-clock decomposition; for a
+	// deduplicated job it reports the execution that actually ran.
+	Stages *StageView `json:"stages,omitempty"`
+	// QueueWaitSeconds is the time the job spent queued before a worker
+	// picked it up (present once the job has started).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	Error            string  `json:"error,omitempty"`
 }
 
 // roundsTotal resolves the effective scheduling-round count of a run
@@ -254,11 +297,13 @@ func (j *Job) view(deduped bool) *JobView {
 		Request:   j.Request,
 		Result:    j.result,
 		Sweep:     j.sweep,
+		Stages:    j.stages,
 		Error:     j.err,
 	}
 	if !j.started.IsZero() {
 		t := j.started
 		v.StartedAt = &t
+		v.QueueWaitSeconds = j.started.Sub(j.created).Seconds()
 	}
 	if !j.finished.IsZero() {
 		t := j.finished

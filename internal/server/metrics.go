@@ -3,16 +3,22 @@ package server
 import (
 	"expvar"
 	"net/http"
+	"strings"
 	"sync"
+	"time"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/obs"
 )
 
-// metrics is the daemon's observability surface, built on expvar types
-// but registered in a per-server map rather than the process-global
-// expvar registry (expvar.Publish panics on duplicate names, which
-// would forbid a second Server in one process — the test suite runs
-// many). GET /metrics renders the map in expvar's JSON format.
+// metrics is the daemon's observability surface. The counters live in
+// an obs.Registry — per-server, not process-global, because the test
+// suite runs many servers in one process — and are mirrored into an
+// expvar.Map so GET /v1/metrics can keep serving the flat JSON
+// document earlier clients parse. The same registry renders the
+// Prometheus text exposition when the client asks for it (see handler).
 //
-// Exposed vars:
+// JSON vars (legacy names, stable):
 //
 //	queue_depth        current FIFO occupancy
 //	queue_capacity     configured queue bound
@@ -28,29 +34,72 @@ import (
 //	cache_misses       simulations actually executed by the runner
 //	cache_hit_ratio    hits / (hits + misses), 0 when idle
 //	sim_seconds_served total simulated seconds of completed jobs
+//
+// Prometheus series carry the ossimd_ prefix; the histograms
+// (ossimd_run_stage_seconds{stage}, ossimd_queue_wait_seconds,
+// ossimd_http_request_seconds{endpoint}) exist only there — expvar has
+// no histogram shape worth faking.
 type metrics struct {
 	srv *Server
 	m   *expvar.Map
+	reg *obs.Registry
 
-	queued, running, done, failed, canceled expvar.Int
-	deduped, rejected                       expvar.Int
+	queued, done, failed, canceled *obs.Counter
+	deduped, rejected              *obs.Counter
+	running                        expvar.Int
 
 	mu         sync.Mutex
 	simSeconds expvar.Float
+
+	queueWait *obs.Histogram
+	stage     map[string]*obs.Histogram // by stage label
 }
 
 func newMetrics(s *Server) *metrics {
-	mt := &metrics{srv: s, m: new(expvar.Map).Init()}
+	mt := &metrics{srv: s, m: new(expvar.Map).Init(), reg: obs.NewRegistry()}
+
+	mt.queued = mt.reg.Counter("ossimd_jobs_queued_total", "jobs accepted into the queue")
+	mt.done = mt.reg.Counter("ossimd_jobs_done_total", "jobs finished successfully")
+	mt.failed = mt.reg.Counter("ossimd_jobs_failed_total", "jobs finished with an error")
+	mt.canceled = mt.reg.Counter("ossimd_jobs_canceled_total", "jobs canceled by drain")
+	mt.deduped = mt.reg.Counter("ossimd_jobs_deduped_total", "POSTs answered by an existing job")
+	mt.rejected = mt.reg.Counter("ossimd_jobs_rejected_total", "POSTs answered 429")
+
+	mt.reg.GaugeFunc("ossimd_queue_depth", "current FIFO occupancy",
+		func() float64 { return float64(len(s.queue)) })
+	mt.reg.GaugeFunc("ossimd_queue_capacity", "configured queue bound",
+		func() float64 { return float64(cap(s.queue)) })
+	mt.reg.GaugeFunc("ossimd_workers", "worker-pool size",
+		func() float64 { return float64(s.opts.Workers) })
+	mt.reg.GaugeFunc("ossimd_jobs_running", "jobs currently simulating",
+		func() float64 { return float64(mt.running.Value()) })
+	mt.reg.GaugeFunc("ossimd_cache_hits", "result-cache hits: deduped POSTs + runner hits and joins",
+		func() float64 { return float64(mt.cacheHits()) })
+	mt.reg.GaugeFunc("ossimd_cache_misses", "simulations actually executed by the runner",
+		func() float64 { return float64(s.runner.Stats().Executions) })
+	mt.reg.GaugeFunc("ossimd_cache_hit_ratio", "hits / (hits + misses), 0 when idle",
+		func() float64 { return mt.hitRatio() })
+	mt.reg.GaugeFunc("ossimd_sim_seconds_served", "total simulated seconds of completed jobs",
+		func() float64 { mt.mu.Lock(); defer mt.mu.Unlock(); return mt.simSeconds.Value() })
+
+	mt.queueWait = mt.reg.Histogram("ossimd_queue_wait_seconds",
+		"time a job spent queued before a worker picked it up", obs.DurationBuckets())
+	mt.stage = make(map[string]*obs.Histogram, 4)
+	for _, stage := range []string{"build", "stream", "simulate", "render"} {
+		mt.stage[stage] = mt.reg.Histogram("ossimd_run_stage_seconds",
+			"per-run stage wall clock, by stage", obs.DurationBuckets(), obs.L("stage", stage))
+	}
+
 	mt.m.Set("queue_depth", expvar.Func(func() any { return len(s.queue) }))
 	mt.m.Set("queue_capacity", expvar.Func(func() any { return cap(s.queue) }))
 	mt.m.Set("workers", expvar.Func(func() any { return s.opts.Workers }))
-	mt.m.Set("jobs_queued", &mt.queued)
+	mt.m.Set("jobs_queued", expvar.Func(func() any { return mt.queued.Value() }))
 	mt.m.Set("jobs_running", &mt.running)
-	mt.m.Set("jobs_done", &mt.done)
-	mt.m.Set("jobs_failed", &mt.failed)
-	mt.m.Set("jobs_canceled", &mt.canceled)
-	mt.m.Set("jobs_deduped", &mt.deduped)
-	mt.m.Set("jobs_rejected", &mt.rejected)
+	mt.m.Set("jobs_done", expvar.Func(func() any { return mt.done.Value() }))
+	mt.m.Set("jobs_failed", expvar.Func(func() any { return mt.failed.Value() }))
+	mt.m.Set("jobs_canceled", expvar.Func(func() any { return mt.canceled.Value() }))
+	mt.m.Set("jobs_deduped", expvar.Func(func() any { return mt.deduped.Value() }))
+	mt.m.Set("jobs_rejected", expvar.Func(func() any { return mt.rejected.Value() }))
 	mt.m.Set("cache_hits", expvar.Func(func() any { return mt.cacheHits() }))
 	mt.m.Set("cache_misses", expvar.Func(func() any { return s.runner.Stats().Executions }))
 	mt.m.Set("cache_hit_ratio", expvar.Func(func() any { return mt.hitRatio() }))
@@ -63,7 +112,7 @@ func newMetrics(s *Server) *metrics {
 // plus the runner's own memoization hits and singleflight joins.
 func (mt *metrics) cacheHits() uint64 {
 	st := mt.srv.runner.Stats()
-	return uint64(mt.deduped.Value()) + st.Hits + st.Joins
+	return mt.deduped.Value() + st.Hits + st.Joins
 }
 
 func (mt *metrics) hitRatio() float64 {
@@ -75,30 +124,88 @@ func (mt *metrics) hitRatio() float64 {
 	return hits / (hits + misses)
 }
 
-func (mt *metrics) jobQueued()  { mt.queued.Add(1) }
-func (mt *metrics) dedupHit()   { mt.deduped.Add(1) }
-func (mt *metrics) rejectedHit() { mt.rejected.Add(1) }
-func (mt *metrics) jobStarted() { mt.running.Add(1) }
+func (mt *metrics) jobQueued()   { mt.queued.Inc() }
+func (mt *metrics) dedupHit()    { mt.deduped.Inc() }
+func (mt *metrics) rejectedHit() { mt.rejected.Inc() }
+
+func (mt *metrics) jobStarted(queueWait time.Duration) {
+	mt.running.Add(1)
+	mt.queueWait.ObserveDuration(queueWait)
+}
+
+// observeRunStages records one actual simulation execution's stage
+// durations. It is installed as core.RunConfig.OnStages, which fires
+// only when a simulation really ran — cached and deduplicated results
+// do not re-observe stale timings. A stage that did not occur (Build
+// on a streaming run, Stream on a materialized one) is skipped rather
+// than logged as a zero.
+func (mt *metrics) observeRunStages(st core.StageTimings) {
+	if st.Build > 0 {
+		mt.stage["build"].ObserveDuration(st.Build)
+	}
+	if st.Stream > 0 {
+		mt.stage["stream"].ObserveDuration(st.Stream)
+	}
+	if st.Simulate > 0 {
+		mt.stage["simulate"].ObserveDuration(st.Simulate)
+	}
+}
+
+// observeRender records the result-rendering span of one completed
+// run or sweep point (rendering always happens server-side, so unlike
+// the other stages it is observed per job, not per execution).
+func (mt *metrics) observeRender(d time.Duration) {
+	mt.stage["render"].ObserveDuration(d)
+}
+
+// httpHist returns the request-latency histogram of one endpoint,
+// created on first use so the exposition lists only routes that exist.
+func (mt *metrics) httpHist(endpoint string) *obs.Histogram {
+	return mt.reg.Histogram("ossimd_http_request_seconds",
+		"HTTP handler latency, by endpoint", obs.DurationBuckets(), obs.L("endpoint", endpoint))
+}
 
 func (mt *metrics) jobFinished(j *Job) {
 	switch j.State() {
 	case JobDone:
 		mt.running.Add(-1)
-		mt.done.Add(1)
+		mt.done.Inc()
 		mt.mu.Lock()
 		mt.simSeconds.Set(mt.simSeconds.Value() + j.simSeconds())
 		mt.mu.Unlock()
 	case JobFailed:
 		mt.running.Add(-1)
-		mt.failed.Add(1)
+		mt.failed.Inc()
 	case JobCanceled:
 		// Canceled jobs never started.
-		mt.canceled.Add(1)
+		mt.canceled.Inc()
 	}
 }
 
-// handler serves GET /metrics in expvar's JSON rendering.
+// wantsPrometheus decides the exposition format of GET /v1/metrics:
+// JSON stays the default; ?format=prometheus or a text/plain /
+// OpenMetrics Accept header (what a Prometheus scraper sends) selects
+// the text exposition.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handler serves GET /v1/metrics: expvar-style JSON by default, the
+// Prometheus text exposition under content negotiation.
 func (mt *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = mt.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Write([]byte("{"))
 	first := true

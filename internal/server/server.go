@@ -18,19 +18,21 @@
 //	POST /v1/sweeps            submit a geometry/system grid    -> JobView
 //	GET  /v1/runs/{id}         job status, progress and result  -> JobView
 //	GET  /v1/runs/{id}/stream  NDJSON progress frames, then the final view
-//	GET  /v1/metrics           expvar counters (queue, cache, jobs, sim-seconds)
-//	GET  /healthz              liveness and drain state (never redirected:
-//	                           probes must not need redirect support)
+//	GET  /v1/metrics           JSON counters by default; the Prometheus
+//	                           text exposition under ?format=prometheus
+//	                           or a text/plain Accept header
+//	GET  /healthz              liveness and drain state
 //
 // The pre-resource paths (POST /v1/run, POST /v1/sweep,
-// GET /v1/jobs/{id}[/stream], GET /metrics) answer 308 Permanent
-// Redirect to their successors for one release — 308 preserves the
-// method and body, so a POST through an old client still submits —
-// and will then be removed.
+// GET /v1/jobs/{id}[/stream], GET /metrics) were redirected with 308
+// for one release and have now been removed: they answer 404 with a
+// JSON error naming the v1 successor.
 //
-// A full queue answers 429 with Retry-After; a draining server answers
-// 503. Drain stops intake, cancels queued jobs, and waits for running
-// simulations to finish.
+// Every client-facing error (400, 404, 429, 503) carries the uniform
+// envelope {"error": {"code": "...", "message": "..."}}. A full queue
+// answers 429 (code "queue_full") with Retry-After; a draining server
+// answers 503 (code "draining"). Drain stops intake, cancels queued
+// jobs, and waits for running simulations to finish.
 package server
 
 import (
@@ -41,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -65,6 +68,11 @@ type Options struct {
 	// on; nil builds a private one. Sharing a Runner shares its
 	// content-addressed result cache.
 	Runner *experiment.Runner
+	// Logger, when non-nil, receives structured request and job
+	// lifecycle logs (method, path, status, latency; job id, kind,
+	// state, queue wait). Nil disables logging — the quiet default the
+	// test suite relies on.
+	Logger *slog.Logger
 
 	// execute, when non-nil, replaces the simulation call — test
 	// seam for deterministic queue-full and drain scenarios.
@@ -126,35 +134,72 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the daemon's HTTP handler: the v1 resource routes
-// plus 308 redirects from the legacy paths (see the package comment's
-// deprecation window).
+// Handler returns the daemon's HTTP handler: the v1 resource routes,
+// instrumented with per-endpoint latency histograms and (when a Logger
+// is configured) structured request logs. The removed pre-resource
+// paths answer 404 with an error naming their v1 successor, so an old
+// client's failure mode is self-explaining.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleRun)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /v1/metrics", s.metrics.handler)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// handle registers one instrumented route. The endpoint label is
+	// the route pattern's path, giving the latency histogram a bounded
+	// label set regardless of request cardinality.
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		hist := s.metrics.httpHist(endpoint)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			h(sw, r)
+			d := time.Since(t0)
+			hist.ObserveDuration(d)
+			if l := s.opts.Logger; l != nil {
+				l.Info("request",
+					"method", r.Method, "path", r.URL.Path, "endpoint", endpoint,
+					"status", sw.status, "duration_ms", float64(d.Microseconds())/1000)
+			}
+		})
+	}
+	handle("POST /v1/runs", "/v1/runs", s.handleRun)
+	handle("POST /v1/sweeps", "/v1/sweeps", s.handleSweep)
+	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleJob)
+	handle("GET /v1/runs/{id}/stream", "/v1/runs/{id}/stream", s.handleStream)
+	handle("GET /v1/metrics", "/v1/metrics", s.metrics.handler)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
 
-	// Legacy surface: 308 preserves method and body, so POSTs through
-	// old clients are replayed against the new resource verbatim.
-	redirect := func(target func(r *http.Request) string) http.HandlerFunc {
+	// Removed legacy surface (the 308 deprecation window has closed):
+	// explicit 404s whose message names the successor, instead of the
+	// mux's bare not-found.
+	gone := func(hint string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			http.Redirect(w, r, target(r), http.StatusPermanentRedirect)
+			writeError(w, http.StatusNotFound, "not_found",
+				"this path was removed; use "+hint)
 		}
 	}
-	mux.HandleFunc("POST /v1/run", redirect(func(*http.Request) string { return "/v1/runs" }))
-	mux.HandleFunc("POST /v1/sweep", redirect(func(*http.Request) string { return "/v1/sweeps" }))
-	mux.HandleFunc("GET /v1/jobs/{id}", redirect(func(r *http.Request) string {
-		return "/v1/runs/" + r.PathValue("id")
-	}))
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", redirect(func(r *http.Request) string {
-		return "/v1/runs/" + r.PathValue("id") + "/stream"
-	}))
-	mux.HandleFunc("GET /metrics", redirect(func(*http.Request) string { return "/v1/metrics" }))
+	mux.HandleFunc("POST /v1/run", gone("POST /v1/runs"))
+	mux.HandleFunc("POST /v1/sweep", gone("POST /v1/sweeps"))
+	mux.HandleFunc("GET /v1/jobs/{id}", gone("GET /v1/runs/{id}"))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", gone("GET /v1/runs/{id}/stream"))
+	mux.HandleFunc("GET /metrics", gone("GET /v1/metrics"))
 	return mux
+}
+
+// statusWriter captures the response status for the request log and
+// latency histogram while forwarding Flush — the stream endpoint
+// depends on the writer being an http.Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Drain gracefully shuts the server down: intake stops (new POSTs get
@@ -209,8 +254,12 @@ func (s *Server) isDraining() bool {
 
 // execute runs one job to a terminal state.
 func (s *Server) execute(job *Job) {
-	job.setRunning()
-	s.metrics.jobStarted()
+	wait := job.setRunning()
+	s.metrics.jobStarted(wait)
+	if l := s.opts.Logger; l != nil {
+		l.Info("job started", "job_id", job.ID, "kind", job.Kind,
+			"queue_wait_ms", float64(wait.Microseconds())/1000)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
 	defer cancel()
 
@@ -218,32 +267,60 @@ func (s *Server) execute(job *Job) {
 	case "run":
 		cfg := job.Cfg
 		cfg.Progress = job.Progress
+		// OnStages fires only when a simulation actually executes, so
+		// cached and deduplicated results never re-observe old timings
+		// into the stage histograms.
+		cfg.OnStages = s.metrics.observeRunStages
 		o, err := s.run(ctx, cfg)
 		var res *RunResult
+		var sv *StageView
 		if err == nil {
+			t0 := time.Now()
 			res = summarize(o)
+			render := time.Since(t0)
+			s.metrics.observeRender(render)
+			st := o.Stages
+			st.Render = render
+			sv = stageView(st)
 		}
-		s.finalize(job, func() { job.finishRun(res, err) }, err)
+		s.finalize(job, func() { job.finishRun(res, sv, err) }, err)
 	case "sweep":
 		res := &SweepResult{Workload: string(job.Points[0].Cfg.Workload)}
+		var agg core.StageTimings
 		var err error
 		for _, pt := range job.Points {
 			var o *core.Outcome
-			o, err = s.run(ctx, pt.Cfg)
+			cfg := pt.Cfg
+			cfg.OnStages = s.metrics.observeRunStages
+			o, err = s.run(ctx, cfg)
 			if err != nil {
 				break
 			}
+			t0 := time.Now()
 			res.Points = append(res.Points, SweepPointResult{
 				Label:  pt.Label,
 				System: pt.System.String(),
 				Result: summarize(o),
 			})
+			render := time.Since(t0)
+			s.metrics.observeRender(render)
+			agg.Build += o.Stages.Build
+			agg.Stream += o.Stages.Stream
+			agg.Simulate += o.Stages.Simulate
+			agg.Render += render
 			job.pointFinished()
 		}
+		var sv *StageView
 		if err != nil {
 			res = nil
+		} else {
+			sv = stageView(agg)
 		}
-		s.finalize(job, func() { job.finishSweep(res, err) }, err)
+		s.finalize(job, func() { job.finishSweep(res, sv, err) }, err)
+	}
+	if l := s.opts.Logger; l != nil {
+		l.Info("job finished", "job_id", job.ID, "kind", job.Kind,
+			"state", string(job.State()))
 	}
 }
 
@@ -374,14 +451,10 @@ func (s *Server) respondSubmit(w http.ResponseWriter, job *Job) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, map[string]string{
-			"error": "queue full, retry later",
-		})
+		writeError(w, http.StatusTooManyRequests, "queue_full", "queue full, retry later")
 		return
 	case errors.Is(err, errDraining):
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"error": "server draining",
-		})
+		writeError(w, http.StatusServiceUnavailable, "draining", "server draining")
 		return
 	}
 	status := http.StatusAccepted
@@ -395,7 +468,7 @@ func (s *Server) respondSubmit(w http.ResponseWriter, job *Job) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		writeError(w, http.StatusNotFound, "not_found", "unknown job")
 		return
 	}
 	writeJSON(w, http.StatusOK, job.view(false))
@@ -415,11 +488,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // clientError writes a 400 for request errors, 500 otherwise.
 func (s *Server) clientError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
 	if isRequestError(err) {
-		status = http.StatusBadRequest
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeError(w, http.StatusInternalServerError, "internal", err.Error())
+}
+
+// ErrorBody is the uniform JSON error envelope of every client-facing
+// failure (400, 404, 429, 503): a stable machine-readable code plus a
+// human-readable message.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope payload. Codes in use: bad_request,
+// not_found, queue_full, draining, internal.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
 }
 
 // writeJSON writes one JSON response.

@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -536,7 +538,8 @@ func TestFailedJobIsRetriable(t *testing.T) {
 	}
 }
 
-// TestResponseBodiesAreJSON spot-checks that error paths answer JSON.
+// TestResponseBodiesAreJSON spot-checks that error paths answer the
+// JSON error envelope.
 func TestResponseBodiesAreJSON(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
 	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader([]byte("{")))
@@ -544,10 +547,204 @@ func TestResponseBodiesAreJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var e struct {
-		Error string `json:"error"`
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+		t.Errorf("400 body not a JSON error envelope: %v %+v", err, e)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-		t.Errorf("400 body not a JSON error: %v %+v", err, e)
+}
+
+// drainServer drains srv with a generous deadline.
+func drainServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestJobViewStageTimings submits a fresh run and checks the stage
+// decomposition the observability layer attaches to the job view: the
+// stages are present, simulate dominates a real run, and their total
+// approximates the job's own wall clock (started→finished) — the
+// span-sum property that makes the breakdown trustworthy.
+func TestJobViewStageTimings(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	// A fresh (workload, seed) pair so the run actually executes
+	// rather than deduplicating onto another test's job.
+	body := fmt.Sprintf(`{"workload":"ARC2D+Fsck","system":"Base","scale":%d,"seed":77}`, testScale)
+	status, sub, _ := postJSON(t, ts.URL+"/v1/runs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", status)
+	}
+	v := waitJob(t, ts.URL, sub.ID)
+	if v.State != JobDone {
+		t.Fatalf("job finished %s (%q)", v.State, v.Error)
+	}
+	st := v.Stages
+	if st == nil {
+		t.Fatal("done job has no stage view")
+	}
+	if st.BuildSeconds <= 0 || st.SimulateSeconds <= 0 {
+		t.Errorf("materialized run missing build/simulate: %+v", st)
+	}
+	if st.StreamSeconds != 0 {
+		t.Errorf("materialized run reports stream time: %+v", st)
+	}
+	if st.TotalSeconds <= 0 {
+		t.Fatalf("total_seconds %v", st.TotalSeconds)
+	}
+	wall := v.FinishedAt.Sub(*v.StartedAt).Seconds()
+	// The stages decompose the execution inside the job's wall clock;
+	// scheduling overhead means total <= wall, and on a fresh run the
+	// stages should account for most of it.
+	if st.TotalSeconds > wall+0.05 {
+		t.Errorf("stage total %.4fs exceeds job wall clock %.4fs", st.TotalSeconds, wall)
+	}
+	if st.TotalSeconds < wall/2 {
+		t.Errorf("stage total %.4fs under half the job wall clock %.4fs — stages unaccounted", st.TotalSeconds, wall)
+	}
+	if v.QueueWaitSeconds < 0 {
+		t.Errorf("queue_wait_seconds %v", v.QueueWaitSeconds)
+	}
+
+	// A streaming run reports stream instead of build.
+	sbody := fmt.Sprintf(`{"workload":"ARC2D+Fsck","system":"Base","scale":%d,"seed":78,"stream":true}`, testScale)
+	_, sub2, _ := postJSON(t, ts.URL+"/v1/runs", sbody)
+	v2 := waitJob(t, ts.URL, sub2.ID)
+	if v2.State != JobDone || v2.Stages == nil {
+		t.Fatalf("streaming job %s, stages %+v", v2.State, v2.Stages)
+	}
+	if v2.Stages.StreamSeconds <= 0 || v2.Stages.BuildSeconds != 0 {
+		t.Errorf("streaming stage view %+v, want stream>0 and build==0", v2.Stages)
+	}
+}
+
+// TestMetricsPrometheusExposition pins the /v1/metrics content
+// negotiation: JSON by default, the Prometheus text exposition under
+// ?format=prometheus or a scraper's Accept header, including the
+// ossimd_run_stage_seconds histogram series with real observations.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	body := fmt.Sprintf(`{"workload":"TRFD+Make","system":"Base","scale":%d,"seed":91}`, testScale)
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", body)
+	waitJob(t, ts.URL, sub.ID)
+
+	fetch := func(url, accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data), resp.Header.Get("Content-Type")
+	}
+
+	// Default stays JSON.
+	jsonBody, ct := fetch(ts.URL+"/v1/metrics", "")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default content type %q, want JSON", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(jsonBody), &m); err != nil {
+		t.Fatalf("default body not JSON: %v", err)
+	}
+
+	check := func(text, ct string) {
+		t.Helper()
+		if !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("prometheus content type %q", ct)
+		}
+		for _, want := range []string{
+			"# TYPE ossimd_run_stage_seconds histogram",
+			`ossimd_run_stage_seconds_bucket{stage="simulate",le="+Inf"}`,
+			`ossimd_run_stage_seconds_count{stage="build"}`,
+			"# TYPE ossimd_jobs_done_total counter",
+			"# TYPE ossimd_queue_depth gauge",
+			"ossimd_queue_wait_seconds_count",
+			`ossimd_http_request_seconds_bucket{endpoint="/v1/runs"`,
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("exposition missing %q", want)
+			}
+		}
+		// The completed run must have observed the simulate stage.
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, `ossimd_run_stage_seconds_count{stage="simulate"}`) {
+				if strings.HasSuffix(line, " 0") {
+					t.Errorf("simulate stage histogram empty: %q", line)
+				}
+			}
+		}
+	}
+	text, ct := fetch(ts.URL+"/v1/metrics?format=prometheus", "")
+	check(text, ct)
+	text, ct = fetch(ts.URL+"/v1/metrics", "text/plain;version=0.0.4")
+	check(text, ct)
+}
+
+// syncBuffer is a goroutine-safe log sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestStructuredRequestLogging pins the slog contract: with a Logger
+// configured, every request produces a structured record with method,
+// path and status, and job lifecycle records carry the job id.
+func TestStructuredRequestLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, Logger: logger})
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(21))
+	waitJob(t, ts.URL, sub.ID)
+
+	var sawRequest, sawStarted, sawFinished bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q (%v)", line, err)
+		}
+		switch rec["msg"] {
+		case "request":
+			if rec["method"] == "POST" && rec["path"] == "/v1/runs" && rec["status"] == float64(202) {
+				sawRequest = true
+			}
+		case "job started":
+			if rec["job_id"] == sub.ID {
+				sawStarted = true
+				if _, ok := rec["queue_wait_ms"]; !ok {
+					t.Error("job started record lacks queue_wait_ms")
+				}
+			}
+		case "job finished":
+			if rec["job_id"] == sub.ID && rec["state"] == "done" {
+				sawFinished = true
+			}
+		}
+	}
+	if !sawRequest || !sawStarted || !sawFinished {
+		t.Errorf("log coverage request=%v started=%v finished=%v\n%s",
+			sawRequest, sawStarted, sawFinished, buf.String())
 	}
 }

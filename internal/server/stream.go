@@ -22,7 +22,7 @@ type StreamFrame struct {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		writeError(w, http.StatusNotFound, "not_found", "unknown job")
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

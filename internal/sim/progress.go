@@ -14,6 +14,7 @@ import "sync/atomic"
 type Progress struct {
 	refs      atomic.Uint64
 	genRefs   atomic.Uint64
+	genStalls atomic.Uint64
 	totalRefs atomic.Uint64
 	osMisses  atomic.Uint64
 	cycles    atomic.Uint64
@@ -32,6 +33,11 @@ type ProgressSnapshot struct {
 	// streaming build it advances round by round as the producer runs
 	// ahead of (and overlapped with) the simulation.
 	GenRefs uint64
+	// GenStalls counts how often a streaming build's producer has
+	// blocked on a full pipeline queue so far — live backpressure
+	// evidence that the simulation, not generation, is the bottleneck.
+	// Always 0 for materialized builds.
+	GenStalls uint64
 	// TotalRefs is the total reference count of the built workload
 	// (0 until the workload generator reports or projects it; a
 	// streaming build projects it from the first generated round).
@@ -64,11 +70,18 @@ func (p *Progress) GenSample(generated, projectedTotal uint64) {
 	}
 }
 
+// GenStallSample publishes the streaming producer's cumulative stall
+// count (times generation blocked on a full pipeline queue).
+func (p *Progress) GenStallSample(stalls uint64) {
+	p.genStalls.Store(stalls)
+}
+
 // Snapshot returns the current progress.
 func (p *Progress) Snapshot() ProgressSnapshot {
 	return ProgressSnapshot{
 		Refs:         p.refs.Load(),
 		GenRefs:      p.genRefs.Load(),
+		GenStalls:    p.genStalls.Load(),
 		TotalRefs:    p.totalRefs.Load(),
 		OSReadMisses: p.osMisses.Load(),
 		Cycles:       p.cycles.Load(),

@@ -1,6 +1,9 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file is the streaming half of the trace model: a bounded,
 // pooled chunk pipeline that couples one trace-generating producer
@@ -49,6 +52,14 @@ type ChunkPipeline struct {
 
 	sent uint64 // total refs sent (final value = trace length)
 	peak int    // high-water mark of refs resident across all queues
+
+	// Generation-stall accounting: how often (and for how long) the
+	// producer blocked on a full queue. A streaming run whose stall
+	// time rivals its simulate time is consumer-bound — the budget is
+	// tight or the simulator is the bottleneck — which is exactly the
+	// attribution question the observability layer exists to answer.
+	stalls     uint64
+	stallNanos int64
 }
 
 // NewChunkPipeline returns a pipeline with one queue per CPU and the
@@ -85,8 +96,16 @@ func (p *ChunkPipeline) Send(cpu int, chunk []Ref) bool {
 		return !aborted
 	}
 	p.mu.Lock()
-	for p.pending[cpu] >= p.budget && !p.unfedStarver() && !p.aborted {
-		p.drained.Wait()
+	if p.pending[cpu] >= p.budget && !p.unfedStarver() && !p.aborted {
+		// The producer is about to block: count the episode and its
+		// wall time. time.Now is taken only on this cold path, so the
+		// unblocked Send stays clock-free.
+		t0 := time.Now()
+		p.stalls++
+		for p.pending[cpu] >= p.budget && !p.unfedStarver() && !p.aborted {
+			p.drained.Wait()
+		}
+		p.stallNanos += time.Since(t0).Nanoseconds()
 	}
 	if p.aborted {
 		p.mu.Unlock()
@@ -181,6 +200,15 @@ func (p *ChunkPipeline) Sent() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.sent
+}
+
+// Stalls returns the number of times the producer blocked on a full
+// queue and the total wall time it spent blocked — the pipeline's
+// backpressure record.
+func (p *ChunkPipeline) Stalls() (uint64, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalls, time.Duration(p.stallNanos)
 }
 
 // PeakPendingRefs returns the high-water mark of references resident

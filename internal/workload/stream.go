@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"oscachesim/internal/kernel"
 	"oscachesim/internal/trace"
@@ -36,6 +37,11 @@ type StreamOptions struct {
 	// references sent so far and a projected total (estimated from the
 	// first round; 0 until then). Called from the producer goroutine.
 	OnProgress func(generated, projectedTotal uint64)
+	// OnStalls, when set, is called once per generated round with the
+	// pipeline's cumulative producer-stall count — the number of times
+	// generation blocked on a full queue so far. Called from the
+	// producer goroutine.
+	OnStalls func(stalls uint64)
 }
 
 // Streamed is an in-flight streaming workload build: the producer
@@ -48,9 +54,11 @@ type Streamed struct {
 	Name   Name
 	Kernel *kernel.Kernel
 
-	pipe *trace.ChunkPipeline
-	done chan struct{}
-	err  error
+	pipe    *trace.ChunkPipeline
+	done    chan struct{}
+	err     error
+	started time.Time
+	elapsed time.Duration // producer wall time; written before done closes
 }
 
 // Stream starts generating a workload trace on a producer goroutine,
@@ -69,20 +77,22 @@ func Stream(name Name, opt kernel.OptConfig, scale int, seed int64, sopt StreamO
 		budget = 4 * chunk
 	}
 	st := &Streamed{
-		Name:   name,
-		Kernel: kernel.New(opt),
-		pipe:   trace.NewChunkPipeline(NumCPUs, budget),
-		done:   make(chan struct{}),
+		Name:    name,
+		Kernel:  kernel.New(opt),
+		pipe:    trace.NewChunkPipeline(NumCPUs, budget),
+		done:    make(chan struct{}),
+		started: time.Now(),
 	}
-	go st.produce(scale, seed, chunk, sopt.OnProgress)
+	go st.produce(scale, seed, chunk, sopt)
 	return st
 }
 
 // produce runs the generator round loop, flushing chunks into the
 // pipeline. It always closes the pipeline and the done channel, even
 // on panic, so consumers never hang on a dead producer.
-func (st *Streamed) produce(scale int, seed int64, chunk int, onProgress func(uint64, uint64)) {
+func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions) {
 	defer close(st.done)
+	defer func() { st.elapsed = time.Since(st.started) }()
 	defer st.pipe.Close()
 	defer func() {
 		if r := recover(); r != nil {
@@ -141,8 +151,12 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, onProgress func(ui
 			// the total for progress reporting.
 			projected = st.pipe.Sent() * uint64(scale)
 		}
-		if onProgress != nil {
-			onProgress(st.pipe.Sent(), projected)
+		if sopt.OnProgress != nil {
+			sopt.OnProgress(st.pipe.Sent(), projected)
+		}
+		if sopt.OnStalls != nil {
+			n, _ := st.pipe.Stalls()
+			sopt.OnStalls(n)
 		}
 	}
 	// The final buffers were flushed at the last round boundary; return
@@ -191,3 +205,12 @@ func (st *Streamed) TotalRefs() uint64 { return st.pipe.Sent() }
 // references — the streaming memory ceiling, which stays O(budget)
 // regardless of scale.
 func (st *Streamed) PeakPendingRefs() int { return st.pipe.PeakPendingRefs() }
+
+// GenStalls reports how many times the producer blocked on a full
+// pipeline queue and the total wall time it spent blocked. Stable
+// after Wait or Abort.
+func (st *Streamed) GenStalls() (uint64, time.Duration) { return st.pipe.Stalls() }
+
+// Elapsed returns the producer goroutine's wall time, from Stream to
+// the pipeline closing. Valid only after Wait or Abort returns.
+func (st *Streamed) Elapsed() time.Duration { return st.elapsed }

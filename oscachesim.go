@@ -99,12 +99,6 @@ type MachineParams = sim.Params
 // coherence on an 8-byte 40-MHz split-transaction bus.
 func DefaultMachine() MachineParams { return sim.DefaultParams() }
 
-// RunContext simulates an arbitrary configuration under a context:
-// cancellation aborts the simulation promptly. It is the canonical
-// entry point; New with options is the ergonomic way to build the
-// configuration.
-func RunContext(ctx context.Context, cfg RunConfig) (*Outcome, error) { return core.Run(ctx, cfg) }
-
 // Sim is a configured simulation built by New. The zero value is not
 // usable.
 type Sim struct {
@@ -184,23 +178,6 @@ func (s *Sim) Compare(ctx context.Context, systems ...System) ([]*Outcome, error
 	}
 	return r.RunConfigs(ctx, cfgs, nil)
 }
-
-// Run simulates one workload under one system. scale is the number of
-// generated scheduling rounds (0 = the workload default); seed makes
-// the run deterministic — comparisons between systems must share it.
-//
-// Deprecated: Use New with WithScale/WithSeed and [Sim.Run], or
-// RunContext for full control. Run ignores cancellation and predates
-// the options API; it will be removed after one release.
-func Run(w Workload, s System, scale int, seed int64) (*Outcome, error) {
-	return core.Run(context.Background(), core.RunConfig{Workload: w, System: s, Scale: scale, Seed: seed})
-}
-
-// RunWith simulates an arbitrary configuration.
-//
-// Deprecated: Use RunContext, which is RunWith plus cancellation; it
-// will be removed after one release.
-func RunWith(cfg RunConfig) (*Outcome, error) { return core.Run(context.Background(), cfg) }
 
 // Experiment names one regenerable table or figure of the paper.
 type Experiment = experiment.Experiment

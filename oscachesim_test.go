@@ -61,30 +61,6 @@ func TestPublicAPIWithMachine(t *testing.T) {
 	}
 }
 
-// TestDeprecatedFacadeStillWorks pins the compatibility contract: the
-// deprecated wrappers must keep producing the same outcomes as the
-// options API until they are removed.
-func TestDeprecatedFacadeStillWorks(t *testing.T) {
-	a, err := Run(TRFD4, Base, 4, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := New(TRFD4, Base, WithScale(4), WithSeed(1)).Run(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Counters != b.Counters {
-		t.Error("deprecated Run disagrees with New(...).Run")
-	}
-	c, err := RunWith(RunConfig{Workload: TRFD4, System: Base, Scale: 4, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.Counters != b.Counters {
-		t.Error("deprecated RunWith disagrees with New(...).Run")
-	}
-}
-
 func TestPublicAPILists(t *testing.T) {
 	if len(Systems()) != 8 {
 		t.Errorf("Systems() = %d entries", len(Systems()))
@@ -139,14 +115,21 @@ func TestExperimentRunnerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunWithCustomMachine drives a whole-RunConfig setup through
+// WithConfig, the escape hatch for study knobs the named options do
+// not cover.
 func TestRunWithCustomMachine(t *testing.T) {
 	m := DefaultMachine()
 	m.L1D.Size = 64 * 1024
-	o, err := RunWith(RunConfig{Workload: Shell, System: Base, Scale: 4, Seed: 1, Machine: &m})
+	s := New(Shell, Base, WithConfig(RunConfig{Scale: 4, Seed: 1, Machine: &m}))
+	o, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Refs == 0 {
 		t.Error("empty run")
+	}
+	if cfg := s.Config(); cfg.Workload != Shell || cfg.Machine.L1D.Size != 64*1024 {
+		t.Errorf("WithConfig lost fields: %+v", cfg)
 	}
 }
