@@ -38,6 +38,9 @@ func main() {
 		docheck = flag.Bool("check", false, "run the differential oracle in lockstep and fail on any divergence")
 		stream  = flag.Bool("stream", false, "generate the workload concurrently with the simulation in bounded chunks (identical output, flat memory)")
 		verbose = flag.Bool("v", false, "append the per-stage timing breakdown (and generator stalls when streaming)")
+		ncpus   = flag.Int("cpus", 0, "processor count (0 = the paper's 4; directory coherence allows up to 256)")
+		cohname = flag.String("coherence", "", "coherence protocol: snoop (default) or directory")
+		l1wb    = flag.Bool("l1wb", false, "make the primary data cache write-back (stores to L2-owned lines complete locally)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func main() {
 	cfg := core.RunConfig{
 		Workload: w, System: sys, Scale: *scale, Seed: *seed,
 		DeferredCopy: *dcopy, PureUpdate: *pureUp, Stream: *stream,
+		Machine: machineFromFlags(*ncpus, *cohname, *l1wb),
 	}
 	var k *check.Checker
 	if *docheck {
@@ -157,6 +161,28 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck,
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ossim:", err)
 	os.Exit(1)
+}
+
+// machineFromFlags builds the machine override the -cpus, -coherence
+// and -l1wb flags describe, or nil when all are at their defaults (so
+// the run keeps the paper's machine and its golden byte-identity).
+func machineFromFlags(ncpus int, cohname string, l1wb bool) *sim.Params {
+	if ncpus == 0 && cohname == "" && !l1wb {
+		return nil
+	}
+	p := sim.DefaultParams()
+	if ncpus != 0 {
+		p.NumCPUs = ncpus
+	}
+	if cohname != "" {
+		kind, err := sim.ParseCoherence(cohname)
+		if err != nil {
+			fatal(err)
+		}
+		p.Coherence = kind
+	}
+	p.L1WriteBack = l1wb
+	return &p
 }
 
 // reportStages prints the -v timing appendix using the same stage

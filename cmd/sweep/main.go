@@ -38,6 +38,8 @@ func main() {
 		lines   = flag.String("linesizes", "", "comma-separated L1D line sizes in bytes to sweep")
 		l2line  = flag.Uint64("l2line", 32, "L2 line size in bytes during a line-size sweep")
 		sysList = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated systems")
+		ncpus   = flag.Int("cpus", 0, "processor count at every grid point (0 = the paper's 4)")
+		cohname = flag.String("coherence", "", "coherence protocol at every grid point: snoop (default) or directory")
 		wname    = flag.String("workload", "", "workload (default: all four)")
 		scale    = flag.Int("scale", 0, "scheduling rounds (0 = default)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
@@ -49,6 +51,18 @@ func main() {
 	flag.Parse()
 	if (*sizes == "") == (*lines == "") {
 		fatal(fmt.Errorf("pass exactly one of -sizes or -linesizes"))
+	}
+
+	base := sim.DefaultParams()
+	if *ncpus != 0 {
+		base.NumCPUs = *ncpus
+	}
+	if *cohname != "" {
+		kind, err := sim.ParseCoherence(*cohname)
+		if err != nil {
+			fatal(err)
+		}
+		base.Coherence = kind
 	}
 
 	var systems []core.System
@@ -79,7 +93,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			p := sim.DefaultParams()
+			p := base
 			p.L1D.Size = kb * 1024
 			grid = append(grid, point{fmt.Sprintf("%dKB", kb), p})
 		}
@@ -89,7 +103,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			p := sim.DefaultParams()
+			p := base
 			p.L1D.LineSize = ls
 			p.L1I.LineSize = ls
 			p.L2.LineSize = *l2line

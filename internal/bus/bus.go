@@ -113,6 +113,17 @@ type Stats struct {
 	WaitCycles uint64
 }
 
+// Accumulate adds o's tallies into s, for aggregating the per-home
+// port timelines of a directory machine into one machine-wide record.
+func (s *Stats) Accumulate(o Stats) {
+	for i := range s.Transactions {
+		s.Transactions[i] += o.Transactions[i]
+		s.Bytes[i] += o.Bytes[i]
+	}
+	s.BusyCycles += o.BusyCycles
+	s.WaitCycles += o.WaitCycles
+}
+
 // TotalTransactions sums transactions across kinds.
 func (s Stats) TotalTransactions() uint64 {
 	var n uint64

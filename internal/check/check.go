@@ -28,6 +28,19 @@
 //     state for the affected line matches the simulator's arrays on
 //     every processor.
 //
+// On a directory-coherent machine (sim.CoherenceDirectory) the oracle
+// additionally maintains its own full-map directory — an owner table
+// and per-line holder sets, derived purely from the cache-state event
+// stream by independently written rules (they do NOT read the
+// simulator's directory) — and on every EvDirUpdate cross-checks
+// three views of the entry: the event's claim, the entry the
+// simulator actually stores (via the DirectoryEntry hook), and the
+// oracle's tables, then verifies the sharer vector against the MESI
+// model (a processor is listed iff it holds a valid copy; the
+// recorded owner is the unique M/E holder or NoOwner). The Firefly
+// update attribute is ignored on a directory machine, so an EvUpdate
+// there is itself a divergence.
+//
 // The first divergences are reported with full context (global ref
 // index, CPU, address, expected vs actual) via Report and Err.
 package check
@@ -94,6 +107,15 @@ type Checker struct {
 	// ctx is the per-processor miss context in flight.
 	ctx []missCtx
 
+	// dirMode is set on a directory-coherent machine. dirOwner and
+	// dirHolders are the oracle's own full-map directory (absent owner
+	// entry = NoOwner), maintained from the cache-state events by
+	// rules written independently of internal/coherence's directory
+	// mutators.
+	dirMode    bool
+	dirOwner   map[uint64]int
+	dirHolders map[uint64]map[int]bool
+
 	divs []Divergence
 	// dropped counts divergences beyond the report cap.
 	dropped uint64
@@ -122,6 +144,11 @@ func Attach(s *sim.Simulator) *Checker {
 		k.l2wb = append(k.l2wb, make(map[uint64]int))
 	}
 	k.ctx = make([]missCtx, n)
+	if p.Coherence == sim.CoherenceDirectory {
+		k.dirMode = true
+		k.dirOwner = make(map[uint64]int)
+		k.dirHolders = make(map[uint64]map[int]bool)
+	}
 	s.SetObserver(k)
 	return k
 }
@@ -195,6 +222,11 @@ func cohClassOf(dc trace.DataClass) stats.CohClass {
 func (k *Checker) l2Line(addr uint64) uint64 { return addr &^ (k.p.L2.LineSize - 1) }
 func (k *Checker) word(addr uint64) uint64   { return addr &^ 3 }
 func (k *Checker) updatePage(addr uint64) bool {
+	// The directory protocol is invalidation-only: the per-page Update
+	// attribute must have no effect there.
+	if k.dirMode {
+		return false
+	}
 	return k.p.Attrs != nil && k.p.Attrs.Get(addr).Update
 }
 
@@ -262,6 +294,8 @@ func (k *Checker) Observe(ev sim.Event) {
 		k.onWBPush(ev)
 	case sim.EvWBRetire:
 		k.onWBRetire(ev)
+	case sim.EvDirUpdate:
+		k.onDirUpdate(ev)
 	}
 }
 
@@ -415,6 +449,7 @@ func (k *Checker) onFill(ev sim.Event) {
 	}
 	k.model[ev.CPU][line] = ev.State
 	delete(k.invalBy[ev.CPU], line)
+	k.dirTrackFill(ev.CPU, line, ev.State)
 	k.verifyLine(ev, line)
 }
 
@@ -428,6 +463,7 @@ func (k *Checker) onEvict(ev sim.Event) {
 		k.diverge(ev, ev.CPU, line, "evicted line state", prior.String(), ev.State.String())
 	}
 	delete(k.model[ev.CPU], line)
+	k.dirTrackDrop(ev.CPU, line)
 }
 
 func (k *Checker) onInvalidate(ev sim.Event) {
@@ -453,6 +489,7 @@ func (k *Checker) onInvalidate(ev sim.Event) {
 				"absent", "present")
 		}
 	}
+	k.dirTrackDrop(ev.Holder, line)
 	k.verifyLine(ev, line)
 }
 
@@ -467,6 +504,8 @@ func (k *Checker) onDowngrade(ev sim.Event) {
 			prior.String(), ev.State.String())
 	}
 	k.model[ev.Holder][line] = coherence.Shared
+	// A downgraded owner keeps its copy but loses ownership.
+	k.dirTrackDowngrade(line)
 	k.verifyLine(ev, line)
 }
 
@@ -478,6 +517,7 @@ func (k *Checker) onAbsorb(ev sim.Event) {
 			"M or E", prior.String())
 	}
 	k.model[ev.CPU][line] = coherence.Modified
+	k.dirTrackOwner(ev.CPU, line)
 	k.verifyLine(ev, line)
 }
 
@@ -488,11 +528,17 @@ func (k *Checker) onUpgrade(ev sim.Event) {
 			"S", prior.String())
 	}
 	k.model[ev.CPU][line] = coherence.Modified
+	k.dirTrackOwner(ev.CPU, line)
 	k.verifyLine(ev, line)
 }
 
 func (k *Checker) onUpdate(ev sim.Event) {
 	line := ev.Addr
+	if k.dirMode {
+		k.diverge(ev, ev.CPU, line, "update broadcast on directory machine",
+			"invalidation-only protocol", "EvUpdate")
+		return
+	}
 	if prior := k.model[ev.CPU][line]; prior != coherence.Shared {
 		k.diverge(ev, ev.CPU, line, "update broadcast from non-Shared line",
 			"S", prior.String())
@@ -577,5 +623,143 @@ func (k *Checker) verifyLine(ev sim.Event, line uint64) {
 	} else if owners == 1 && valid > 1 {
 		k.diverge(ev, ev.CPU, line, "single-owner invariant",
 			"owner excludes sharers", fmt.Sprintf("owner + %d sharer(s)", valid-1))
+	}
+}
+
+// --- Directory oracle -------------------------------------------------
+
+// dirTrackFill records a fill in the oracle's directory: the filler
+// becomes a holder, and an owning fill (M/E) makes it the owner.
+func (k *Checker) dirTrackFill(cpu int, line uint64, st coherence.State) {
+	if !k.dirMode {
+		return
+	}
+	h := k.dirHolders[line]
+	if h == nil {
+		h = make(map[int]bool)
+		k.dirHolders[line] = h
+	}
+	h[cpu] = true
+	if st == coherence.Modified || st == coherence.Exclusive {
+		k.dirOwner[line] = cpu
+	} else if o, ok := k.dirOwner[line]; ok && o == cpu {
+		delete(k.dirOwner, line)
+	}
+}
+
+// dirTrackDrop records a holder losing its copy (eviction or
+// invalidation); a dropped owner leaves the line ownerless.
+func (k *Checker) dirTrackDrop(cpu int, line uint64) {
+	if !k.dirMode {
+		return
+	}
+	if h := k.dirHolders[line]; h != nil {
+		delete(h, cpu)
+		if len(h) == 0 {
+			delete(k.dirHolders, line)
+		}
+	}
+	if o, ok := k.dirOwner[line]; ok && o == cpu {
+		delete(k.dirOwner, line)
+	}
+}
+
+// dirTrackDowngrade records the owner dropping to Shared: it keeps
+// its copy, the line has no owner.
+func (k *Checker) dirTrackDowngrade(line uint64) {
+	if !k.dirMode {
+		return
+	}
+	delete(k.dirOwner, line)
+}
+
+// dirTrackOwner records cpu taking sole ownership (upgrade, or a
+// write absorbed by an Exclusive copy).
+func (k *Checker) dirTrackOwner(cpu int, line uint64) {
+	if !k.dirMode {
+		return
+	}
+	h := k.dirHolders[line]
+	if h == nil {
+		h = make(map[int]bool)
+		k.dirHolders[line] = h
+	}
+	h[cpu] = true
+	k.dirOwner[line] = cpu
+}
+
+// onDirUpdate cross-checks, after each directory transaction, the
+// event's claimed entry, the entry the simulator stores (via the
+// DirectoryEntry hook), and the oracle's own tables — then verifies
+// the sharer vector and owner against the MESI model.
+func (k *Checker) onDirUpdate(ev sim.Event) {
+	line := ev.Addr
+	if !k.dirMode {
+		k.diverge(ev, ev.CPU, line, "directory update on snooping machine",
+			"no EvDirUpdate events", "EvDirUpdate")
+		return
+	}
+	// 1. Event vs the entry the simulator stores.
+	owner, holders, ok := k.s.DirectoryEntry(line)
+	if !ok {
+		k.diverge(ev, ev.CPU, line, "directory entry hook",
+			"directory-mode lookup", "unavailable")
+		return
+	}
+	if owner != ev.Owner || len(holders) != ev.SharerCount {
+		k.diverge(ev, ev.CPU, line, "directory event vs stored entry",
+			fmt.Sprintf("owner=%d sharers=%d", owner, len(holders)),
+			fmt.Sprintf("owner=%d sharers=%d", ev.Owner, ev.SharerCount))
+	}
+	// 2. Oracle tables vs the stored entry.
+	expOwner := coherence.NoOwner
+	if o, okk := k.dirOwner[line]; okk {
+		expOwner = o
+	}
+	if expOwner != owner {
+		k.diverge(ev, ev.CPU, line, "directory owner",
+			fmt.Sprintf("owner=%d", expOwner), fmt.Sprintf("owner=%d", owner))
+	}
+	h := k.dirHolders[line]
+	if len(h) != len(holders) {
+		k.diverge(ev, ev.CPU, line, "directory sharer count",
+			fmt.Sprintf("%d holder(s)", len(h)), fmt.Sprintf("%d holder(s)", len(holders)))
+	} else {
+		for _, i := range holders {
+			if !h[i] {
+				k.diverge(ev, i, line, "directory sharer membership",
+					"absent from sharer vector", "listed as holder")
+			}
+		}
+	}
+	// 3. Sharer vector vs MESI model: listed iff holding a valid copy.
+	owners := 0
+	for i := range k.model {
+		st := k.model[i][line]
+		if listed := h[i]; listed != st.Valid() {
+			k.diverge(ev, i, line, "sharer-vector/cache-state agreement",
+				fmt.Sprintf("listed=%v", st.Valid()), fmt.Sprintf("listed=%v (state %s)", listed, st))
+		}
+		if st == coherence.Modified || st == coherence.Exclusive {
+			owners++
+			if expOwner != i {
+				k.diverge(ev, i, line, "directory owner identity",
+					fmt.Sprintf("owner=%d (holds %s)", i, st), fmt.Sprintf("owner=%d", expOwner))
+			}
+		}
+	}
+	if owners > 1 {
+		k.diverge(ev, ev.CPU, line, "directory single-owner invariant",
+			"<=1 M/E copy", fmt.Sprintf("%d owners", owners))
+	}
+	if expOwner != coherence.NoOwner {
+		if !h[expOwner] {
+			k.diverge(ev, ev.CPU, line, "directory owner in sharer vector",
+				"owner listed as holder", fmt.Sprintf("owner=%d absent", expOwner))
+		}
+		if st := k.model[expOwner][line]; st != coherence.Modified && st != coherence.Exclusive {
+			k.diverge(ev, expOwner, line, "directory owner cache state",
+				"M or E", st.String())
+		}
 	}
 }

@@ -1,0 +1,58 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// TestGeometryConservation sweeps the generalized machine model —
+// processor count × set-associativity × line size — and checks the
+// conservation laws every outcome must satisfy regardless of
+// geometry: miss classes sum to the miss count, the per-mode time
+// breakdowns sum exactly to the CPU clocks, and misses never exceed
+// references (all enforced by VerifyOutcome). Machines at 16 CPUs and
+// beyond run the directory protocol; the small ones keep the snooping
+// bus, so both datapaths face the whole geometry grid.
+func TestGeometryConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("geometry property sweep skipped in -short mode")
+	}
+	for _, ncpus := range []int{2, 8, 16, 64} {
+		for _, assoc := range []int{2, 4, 8} {
+			for _, line := range []uint64{32, 64, 128} {
+				p := sim.DefaultParams()
+				p.NumCPUs = ncpus
+				if ncpus >= 16 {
+					p.Coherence = sim.CoherenceDirectory
+				}
+				p.L1D.Assoc = assoc
+				p.L2.Assoc = assoc
+				p.L1D.LineSize = line
+				p.L1I.LineSize = line
+				// Inclusion: the secondary line must cover the primary.
+				p.L2.LineSize = max(32, line)
+				name := fmt.Sprintf("%dcpu/%dway/%dB", ncpus, assoc, line)
+				t.Run(name, func(t *testing.T) {
+					o, err := core.Run(context.Background(), core.RunConfig{
+						Workload: workload.Shell, System: core.Base,
+						Scale: 1, Seed: 1, Machine: &p,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if o.Refs == 0 {
+						t.Fatal("no references simulated")
+					}
+					if err := VerifyOutcome(o); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

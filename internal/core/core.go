@@ -304,10 +304,15 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		return runStreaming(ctx, cfg)
 	}
 
-	buildStart := time.Now()
-	built := workload.Build(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed)
-	stages := StageTimings{Build: time.Since(buildStart)}
+	// The machine parameters come first: the workload is traced for
+	// exactly the machine's processor count.
 	p := machineParams(cfg)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	built := workload.BuildN(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, p.NumCPUs)
+	stages := StageTimings{Build: time.Since(buildStart)}
 	if cfg.Progress != nil {
 		cfg.Progress.SetTotalRefs(uint64(built.TotalRefs()))
 	}
@@ -349,7 +354,10 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 // with simulation through the chunk pipeline.
 func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	p := machineParams(cfg)
-	sopt := workload.StreamOptions{}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sopt := workload.StreamOptions{NumCPUs: p.NumCPUs}
 	if cfg.Progress != nil {
 		sopt.OnProgress = cfg.Progress.GenSample
 		sopt.OnStalls = cfg.Progress.GenStallSample

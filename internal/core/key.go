@@ -81,4 +81,5 @@ func hashMachine(w io.Writer, p sim.Params) {
 	fmt.Fprintf(w, ";dma=%d/%d/%d;sync=%d;max=%d",
 		p.DMASetupCycles, p.DMACyclesPer8B, p.DMASnoopPenalty,
 		p.SyncGrantCycles, p.MaxRefs)
+	fmt.Fprintf(w, ";coh=%d;l1wb=%t", p.Coherence, p.L1WriteBack)
 }

@@ -128,3 +128,67 @@ func TestRunConfigsCancellation(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+// TestDirectoryDeterminism pins the generalized machine to the same
+// reproducibility bar as the paper's: a 16-CPU directory-coherent run
+// must be byte-identical whether it executes serially, through the
+// work-stealing scheduler, or on the streaming pipeline. Under -race
+// in CI this also exercises the per-home port timelines and the
+// directory map under real scheduler contention.
+func TestDirectoryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("triple directory run is slow")
+	}
+	machine := func() *sim.Params {
+		p := sim.DefaultParams()
+		p.NumCPUs = 16
+		p.Coherence = sim.CoherenceDirectory
+		return &p
+	}
+	base := core.RunConfig{
+		Workload: workload.Shell, System: core.BlkDma, Scale: 2, Seed: 1,
+		Machine: machine(),
+	}
+	want, err := core.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Refs == 0 {
+		t.Fatal("no references simulated")
+	}
+
+	streamed := base
+	streamed.Machine = machine()
+	streamed.Stream = true
+	gotStream, err := core.Run(context.Background(), streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(Config{Scale: 2, Seed: 1, Parallel: true, Workers: 4})
+	par := base
+	par.Machine = machine()
+	outs, err := r.RunConfigs(context.Background(), []core.RunConfig{par}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]*core.Outcome{
+		"streaming": gotStream, "parallel scheduler": outs[0],
+	} {
+		if got.Counters != want.Counters {
+			t.Errorf("%s counters differ from the serial run", name)
+		}
+		if got.Refs != want.Refs {
+			t.Errorf("%s simulated %d refs, serial %d", name, got.Refs, want.Refs)
+		}
+		if len(got.CPUTime) != len(want.CPUTime) {
+			t.Fatalf("%s reports %d CPU clocks, serial %d", name, len(got.CPUTime), len(want.CPUTime))
+		}
+		for i := range want.CPUTime {
+			if got.CPUTime[i] != want.CPUTime[i] {
+				t.Errorf("%s cpu%d clock %d, serial %d", name, i, got.CPUTime[i], want.CPUTime[i])
+			}
+		}
+	}
+}

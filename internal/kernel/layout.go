@@ -293,8 +293,12 @@ func BufHdrAddr(i int) uint64 { return BufHdrBase + uint64(i%NBufs)*BufHdrSize }
 func BufDataAddr(i int) uint64 { return BufDataBase + uint64(i%NBufs)*memory.PageSize }
 
 // KStackAddr returns an address within a processor's kernel stack.
+// The stack window below the process table fits 96 one-page stacks;
+// larger machines wrap, deterministically sharing stack pages between
+// CPUs c and c+96 (the traced kernel never re-sizes its layout for
+// big machines, mirroring Concentrix's fixed map).
 func KStackAddr(cpu int, off uint64) uint64 {
-	return KStackBase + uint64(cpu)*0x1000 + off%1024
+	return KStackBase + uint64(cpu%96)*0x1000 + off%1024
 }
 
 // RunQueueSlot returns the i'th run-queue slot.

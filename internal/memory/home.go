@@ -1,0 +1,35 @@
+package memory
+
+// HomeMap assigns every memory line a home node, the directory-machine
+// analogue of the snooping machine's single memory controller. Lines
+// are interleaved round-robin across the nodes at cache-line
+// granularity, the classic low-order interleave that spreads both
+// capacity and directory traffic: consecutive lines live on
+// consecutive nodes, so a block operation's lines fan out across the
+// whole machine instead of serializing on one home.
+type HomeMap struct {
+	nodes    int
+	lineSize uint64
+}
+
+// NewHomeMap builds an interleave over nodes home nodes with the
+// given line size (the secondary-cache line size, since that is the
+// coherence unit). Both must be positive; lineSize must be a power of
+// two.
+func NewHomeMap(nodes int, lineSize uint64) HomeMap {
+	if nodes <= 0 {
+		panic("memory: HomeMap needs at least one node")
+	}
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		panic("memory: HomeMap line size must be a power of two")
+	}
+	return HomeMap{nodes: nodes, lineSize: lineSize}
+}
+
+// Nodes returns the home-node count.
+func (h HomeMap) Nodes() int { return h.nodes }
+
+// HomeOf returns the home node of the line containing addr.
+func (h HomeMap) HomeOf(addr uint64) int {
+	return int((addr / h.lineSize) % uint64(h.nodes))
+}

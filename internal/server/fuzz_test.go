@@ -2,7 +2,10 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
+
+	"oscachesim/internal/sim"
 )
 
 // FuzzDecodeRunRequest drives the /v1/runs body decoder with arbitrary
@@ -63,6 +66,73 @@ func FuzzDecodeRunRequest(f *testing.F) {
 		// it is the job's identity.
 		if key := cfg.CanonicalKey(); len(key) != 64 {
 			t.Fatalf("canonical key %q is not a sha256 hex digest", key)
+		}
+	})
+}
+
+// FuzzMachineSpec drives the machine-spec decoder with arbitrary
+// bytes. Its contract: MachineRequest.toParams never panics, every
+// rejection is a *RequestError, and anything accepted satisfies
+// sim.Params.Validate — in particular the processor-count ceiling of
+// the selected coherence protocol, so a fuzz-crafted spec can neither
+// put 65 CPUs on the snooping bus nor 257 on the directory machine.
+func FuzzMachineSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		// The paper's machine, spelled out.
+		`{"num_cpus":4,"l1d_size_kb":32,"l1d_line":16,"l1d_assoc":1,"l1i_size_kb":16,"l1i_line":16,"l2_size_kb":256,"l2_line":32,"l2_assoc":1,"mshr":8,"l1_wb_depth":4,"l2_wb_depth":8,"mem_cycles":51}`,
+		// Directory machines past the snooping ceiling.
+		`{"num_cpus":16,"coherence":"directory"}`,
+		`{"num_cpus":256,"coherence":"dir","l1_writeback":true}`,
+		`{"num_cpus":64,"coherence":"snoop"}`,
+		`{"num_cpus":65,"coherence":"snoop"}`,
+		`{"num_cpus":65}`,
+		`{"num_cpus":257,"coherence":"directory"}`,
+		`{"coherence":"token-ring"}`,
+		`{"l1d_line":24}`,
+		`{"l1d_assoc":3,"l1d_size_kb":32}`,
+		`{"l2_line":8,"l1d_line":16}`,
+		`{"l1_writeback":true}`,
+		`{"num_cpus":-1}`,
+		`{"l1d_size_kb":18446744073709551615}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m MachineRequest
+		if err := decodeJSON(bytes.NewReader(data), &m); err != nil {
+			if !isRequestError(err) {
+				t.Fatalf("decode error is not a RequestError: %T %v", err, err)
+			}
+			return
+		}
+		p, err := m.toParams()
+		if err != nil {
+			if !isRequestError(err) {
+				t.Fatalf("toParams error is not a RequestError: %T %v", err, err)
+			}
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted machine fails validation: %v", verr)
+		}
+		switch p.Coherence {
+		case sim.CoherenceSnoop:
+			if p.NumCPUs > sim.MaxSnoopCPUs {
+				t.Fatalf("accepted %d CPUs on the snooping bus", p.NumCPUs)
+			}
+		case sim.CoherenceDirectory:
+			if p.NumCPUs > sim.MaxDirectoryCPUs {
+				t.Fatalf("accepted %d CPUs on the directory machine", p.NumCPUs)
+			}
+		default:
+			t.Fatalf("accepted unknown coherence kind %v", p.Coherence)
+		}
+		// The accepted spec must also be JSON-re-encodable (the daemon
+		// echoes requests back in job listings).
+		if _, err := json.Marshal(&m); err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
 		}
 	})
 }

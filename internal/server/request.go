@@ -68,6 +68,15 @@ type MachineRequest struct {
 	L2WBDepth  *int    `json:"l2_wb_depth,omitempty"`
 	MemCycles  *uint64 `json:"mem_cycles,omitempty"`
 	DMAPer8B   *uint64 `json:"dma_cycles_per_8b,omitempty"`
+	// Coherence selects the protocol family: "snoop" (aliases "mesi",
+	// "bus") or "directory" (alias "dir"). Directory machines scale
+	// past the snooping bus's 64-CPU ceiling and ignore the Firefly
+	// update attribute.
+	Coherence *string `json:"coherence,omitempty"`
+	// L1WriteBack makes the primary data cache write-back: stores to
+	// lines the local L2 owns complete without entering the
+	// write-through buffers.
+	L1WriteBack *bool `json:"l1_writeback,omitempty"`
 }
 
 // RunRequest is the body of POST /v1/runs.
@@ -243,6 +252,16 @@ func (m *MachineRequest) toParams() (*sim.Params, error) {
 	}
 	if m.NumCPUs != nil {
 		p.NumCPUs = *m.NumCPUs
+	}
+	if m.Coherence != nil {
+		kind, err := sim.ParseCoherence(*m.Coherence)
+		if err != nil {
+			return nil, reqErrf("coherence: %v", err)
+		}
+		p.Coherence = kind
+	}
+	if m.L1WriteBack != nil {
+		p.L1WriteBack = *m.L1WriteBack
 	}
 	if m.MSHR != nil {
 		p.MSHREntries = *m.MSHR

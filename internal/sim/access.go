@@ -210,6 +210,30 @@ func (s *Simulator) writeAccess(c *cpuState, r trace.Ref, mode int) {
 		}
 	}
 
+	// Write-back primary cache: a store whose line the local L2
+	// already owns completes in the hierarchy without touching the
+	// write buffer — the L2 line turns Modified on the spot, exactly
+	// as if the buffered write had been absorbed. Stores to shared or
+	// missing lines fall through to the write-through machinery so
+	// every coherence decision still happens at L2.
+	if s.p.L1WriteBack {
+		l2line := c.l2.LineAddr(r.Addr)
+		if st := c.l2.State(l2line); st == coherence.Modified || st == coherence.Exclusive {
+			if _, hit := c.l1d.Lookup(r.Addr); !hit {
+				s.fillL1D(c, c.l1d.LineAddr(r.Addr), r.Block)
+			}
+			if l, ok := c.l2.Peek(l2line); ok {
+				l.State = coherence.Modified
+			}
+			if s.obs != nil {
+				s.emit(Event{Kind: EvAbsorb, CPU: c.id, Addr: l2line})
+			}
+			s.c.Time[mode].Exec++
+			c.time++
+			return
+		}
+	}
+
 	// Write-through write-allocate: a store miss installs the line in
 	// the primary cache in the background (the data rides the L2
 	// write-allocate that the drain engine performs), so consecutive
@@ -268,8 +292,9 @@ func (s *Simulator) bypassWrite(c *cpuState, r trace.Ref, mode int) {
 // the first (the paper's Blk_Bypass write-stall growth).
 func (s *Simulator) flushDstReg(c *cpuState) (stall uint64) {
 	start := max(c.time, c.dstFlushFree)
-	occ := s.bus.LineOccupancy(s.p.L2.LineSize)
-	grant := s.bus.Reserve(start, occ, bus.KindWordWrite, s.p.L2.LineSize)
+	port := s.portFor(c.dstReg2)
+	occ := port.LineOccupancy(s.p.L2.LineSize)
+	grant := port.Reserve(start, occ, bus.KindWordWrite, s.p.L2.LineSize)
 	// Remote copies of the line must be invalidated (the write goes
 	// to memory).
 	s.snoopInvalidate(c, c.dstReg2, trace.ClassGeneric)
@@ -367,7 +392,12 @@ func (s *Simulator) dmaAccess(c *cpuState, r trace.Ref, mode int) {
 		countSnoops(r.Aux)
 	}
 
-	grant := s.bus.Reserve(c.time, occ+penalty, bus.KindDMA, size)
+	// On a directory machine the transfer is carried by the
+	// destination's home node (a simplification: a page-sized copy
+	// really spans several homes, but one port serializing the
+	// transfer models the controller bottleneck the paper measures).
+	dmaPort := s.portFor(s.p.L2.LineSize * (r.Addr / s.p.L2.LineSize))
+	grant := dmaPort.Reserve(c.time, occ+penalty, bus.KindDMA, size)
 	complete := grant + occ + penalty
 	stall := complete - c.time
 	s.c.Time[mode].DRead += stall
@@ -392,6 +422,9 @@ func (s *Simulator) dmaAccess(c *cpuState, r trace.Ref, mode int) {
 					s.emit(Event{Kind: EvDowngrade, CPU: c.id, Holder: o.id, Addr: line, State: prior})
 				}
 			}
+		}
+		if s.directoryMode() {
+			s.dirDMADowngrade(c, line)
 		}
 		if !c.l2.State(line).Valid() {
 			s.markBypassed(c, line, r.Block)
@@ -439,6 +472,9 @@ func (s *Simulator) l2MissFill(c *cpuState, addr uint64, kind bus.Kind, blockID 
 // local L2 (install=false is the bypass path). It returns the stall in
 // cycles beyond the 1-cycle L1 access.
 func (s *Simulator) l2BusRead(c *cpuState, addr uint64, kind bus.Kind, install bool, blockID uint32) uint64 {
+	if s.directoryMode() {
+		return s.dirBusRead(c, addr, kind, install, blockID)
+	}
 	l2line := c.l2.LineAddr(addr)
 	snap := s.snapshot(c, l2line)
 	act := coherence.ReadMiss(snap)
@@ -487,11 +523,21 @@ func (s *Simulator) fillL2(c *cpuState, l2line uint64, st coherence.State, block
 		s.emit(Event{Kind: kind, CPU: c.id, Addr: l2line, State: st})
 	}
 	if !v.Valid {
+		if s.directoryMode() {
+			s.dirRegisterFill(c, l2line, st)
+		}
 		return
 	}
+	if s.directoryMode() {
+		// Precise replacement hint: the victim's home forgets this
+		// holder; the new line's home records it.
+		s.dirDropHolder(c, v.Addr)
+		s.dirRegisterFill(c, l2line, st)
+	}
 	if v.State == coherence.Modified {
-		occ := s.bus.LineOccupancy(s.p.L2.LineSize)
-		s.bus.Reserve(c.time, occ, bus.KindWriteBack, s.p.L2.LineSize)
+		port := s.portFor(v.Addr)
+		occ := port.LineOccupancy(s.p.L2.LineSize)
+		port.Reserve(c.time, occ, bus.KindWriteBack, s.p.L2.LineSize)
 	}
 	for a := v.Addr; a < v.Addr+s.p.L2.LineSize; a += s.p.L1D.LineSize {
 		if _, present := c.l1d.Peek(a); present {
@@ -504,8 +550,12 @@ func (s *Simulator) fillL2(c *cpuState, l2line uint64, st coherence.State, block
 	}
 }
 
-// snapshot snoops the other processors' secondary caches.
+// snapshot snoops the other processors' secondary caches (or, on a
+// directory machine, asks the home node, which knows precisely).
 func (s *Simulator) snapshot(c *cpuState, l2line uint64) coherence.Snapshot {
+	if s.directoryMode() {
+		return s.dirSnapshot(c, l2line)
+	}
 	var snap coherence.Snapshot
 	for _, o := range s.cpus {
 		if o == c {
@@ -523,7 +573,13 @@ func (s *Simulator) snapshot(c *cpuState, l2line uint64) coherence.Snapshot {
 
 // snoopInvalidate removes the line from every remote cache, recording
 // the invalidating write's data class for coherence-miss attribution.
+// On a directory machine the invalidations are precise, directed at
+// the recorded holders only.
 func (s *Simulator) snoopInvalidate(c *cpuState, l2line uint64, class trace.DataClass) {
+	if s.directoryMode() {
+		s.dirInvalidate(c, l2line, class)
+		return
+	}
 	for _, o := range s.cpus {
 		if o == c {
 			continue
@@ -890,9 +946,13 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 	}
 	start := max(c.wbFreeB, e.Ready)
 	l2line := c.l2.LineAddr(e.Addr)
+	port := s.portFor(l2line)
 	st := c.l2.State(l2line)
 	class := trace.DataClass(e.Tag)
-	updatePage := s.p.Attrs != nil && s.p.Attrs.Get(e.Addr).Update
+	// The Firefly update broadcast has no directory analogue; on a
+	// directory machine the Update page attribute is ignored and every
+	// shared write takes the invalidation path.
+	updatePage := !s.directoryMode() && s.p.Attrs != nil && s.p.Attrs.Get(e.Addr).Update
 
 	switch {
 	case st == coherence.Modified || st == coherence.Exclusive:
@@ -908,8 +968,8 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 	case st == coherence.Shared && updatePage:
 		// Firefly word-update broadcast: remote copies stay valid,
 		// memory is written through.
-		occ := 2 * s.bus.ControlOccupancy()
-		grant := s.bus.Reserve(start, occ, bus.KindUpdate, 4)
+		occ := 2 * port.ControlOccupancy()
+		grant := port.Reserve(start, occ, bus.KindUpdate, 4)
 		sharers := s.snoopUpdate(c, l2line)
 		if l, okk := c.l2.Peek(l2line); okk && !sharers {
 			l.State = coherence.Exclusive
@@ -919,15 +979,19 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		}
 		c.wbFreeB = grant + occ
 	case st == coherence.Shared:
-		// Invalidation-only upgrade.
-		occ := s.bus.ControlOccupancy()
-		grant := s.bus.Reserve(start, occ, bus.KindUpgrade, 0)
+		// Invalidation-only upgrade (an ownership request at the home
+		// node on a directory machine).
+		occ := port.ControlOccupancy()
+		grant := port.Reserve(start, occ, bus.KindUpgrade, 0)
 		s.snoopInvalidate(c, l2line, class)
 		if l, okk := c.l2.Peek(l2line); okk {
 			l.State = coherence.Modified
 		}
 		if s.obs != nil {
 			s.emit(Event{Kind: EvUpgrade, CPU: c.id, Addr: l2line})
+		}
+		if s.directoryMode() {
+			s.dirSetOwner(c, l2line)
 		}
 		c.wbFreeB = grant + occ
 	default:
@@ -940,8 +1004,8 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 		} else {
 			act = coherence.WriteMiss(coherence.Invalidate, snap)
 		}
-		occ := s.bus.LineOccupancy(s.p.L2.LineSize)
-		grant := s.bus.Reserve(start, occ, bus.KindOf(act.Bus, true), s.p.L2.LineSize)
+		occ := port.LineOccupancy(s.p.L2.LineSize)
+		grant := port.Reserve(start, occ, bus.KindOf(act.Bus, true), s.p.L2.LineSize)
 		latency := s.p.MemCycles
 		if act.CacheToCache {
 			latency = s.p.C2CCycles
@@ -952,8 +1016,8 @@ func (s *Simulator) serviceL2WBHead(c *cpuState) uint64 {
 			// Firefly write miss: after the fill, the written word is
 			// broadcast so sharers (and memory) stay current.
 			s.snoopUpdate(c, l2line)
-			uocc := 2 * s.bus.ControlOccupancy()
-			s.bus.Reserve(grant+occ, uocc, bus.KindUpdate, 4)
+			uocc := 2 * port.ControlOccupancy()
+			port.Reserve(grant+occ, uocc, bus.KindUpdate, 4)
 		}
 		s.fillL2(c, l2line, act.Next, e.Block, true)
 		_ = latency

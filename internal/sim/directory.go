@@ -1,0 +1,172 @@
+package sim
+
+// Directory-coherence datapath. The snooping machine resolves every
+// miss by broadcasting on the one bus; the directory machine sends
+// the miss to the line's home node (memory.HomeMap interleaves lines
+// across the processors), whose full-map directory entry names the
+// owner and sharers precisely, so only those caches are touched. Each
+// home node arbitrates its own port timeline, which is what lets CPU
+// counts beyond a single bus's reach scale. The decision logic lives
+// in internal/coherence (directory.go); this file owns the entry
+// storage and applies the actions.
+
+import (
+	"oscachesim/internal/bus"
+	"oscachesim/internal/coherence"
+	"oscachesim/internal/trace"
+)
+
+// directoryMode reports whether the machine is directory-coherent.
+func (s *Simulator) directoryMode() bool { return s.dir != nil }
+
+// portFor returns the occupancy timeline arbitrating transactions on
+// the given line: its home node's port on a directory machine, the
+// shared bus otherwise.
+func (s *Simulator) portFor(line uint64) *bus.Bus {
+	if s.ports == nil {
+		return s.bus
+	}
+	return s.ports[s.home.HomeOf(line)]
+}
+
+// dirEntryOf returns the directory record of a line (the empty entry
+// for uncached lines).
+func (s *Simulator) dirEntryOf(line uint64) coherence.DirEntry {
+	if e, ok := s.dir[line]; ok {
+		return e
+	}
+	return coherence.EmptyDirEntry()
+}
+
+// storeDir persists an updated entry (dropping empty ones) and emits
+// the EvDirUpdate event. It must be called after every cache-state
+// change of the transaction it concludes, so observers see a
+// consistent machine.
+func (s *Simulator) storeDir(c *cpuState, line uint64, e coherence.DirEntry) {
+	if e.Sharers.Empty() {
+		delete(s.dir, line)
+		e = coherence.EmptyDirEntry()
+	} else {
+		s.dir[line] = e
+	}
+	if s.obs != nil {
+		s.emit(Event{
+			Kind: EvDirUpdate, CPU: c.id, Addr: line,
+			Owner: e.Owner, SharerCount: e.Sharers.Count(),
+		})
+	}
+}
+
+// dirBusRead is the directory counterpart of l2BusRead: a read miss
+// routed to the line's home node. The owner, if any, supplies the
+// data cache-to-cache and downgrades to Shared; plain sharers are
+// left alone (no broadcast). install=false is the bypass path, which
+// reads the line without registering the requester.
+func (s *Simulator) dirBusRead(c *cpuState, addr uint64, kind bus.Kind, install bool, blockID uint32) uint64 {
+	line := c.l2.LineAddr(addr)
+	e := s.dirEntryOf(line)
+	ownerDirty := e.Owner != coherence.NoOwner && e.Owner != c.id &&
+		s.cpus[e.Owner].l2.State(line) == coherence.Modified
+	act := coherence.DirReadMiss(e, c.id, ownerDirty)
+
+	port := s.portFor(line)
+	occ := port.LineOccupancy(s.p.L2.LineSize)
+	grant := port.Reserve(c.time, occ, kind, s.p.L2.LineSize)
+	wait := grant - c.time
+
+	latency := s.p.MemCycles
+	if act.OwnerSupply {
+		latency = s.p.C2CCycles
+	}
+	if act.Downgrade {
+		if l, ok := s.cpus[e.Owner].l2.Peek(line); ok {
+			prior := l.State
+			l.State = coherence.Shared
+			s.emit(Event{Kind: EvDowngrade, CPU: c.id, Holder: e.Owner, Addr: line, State: prior})
+		}
+		e.ApplyDowngrade()
+		s.storeDir(c, line, e)
+	}
+	if install {
+		// fillL2 registers the requester in the directory (and
+		// deregisters the victim).
+		s.fillL2(c, line, act.Next, blockID, false)
+	}
+	return wait + latency - 1
+}
+
+// dirSnapshot derives the snooping-protocol Snapshot from the
+// directory entry, so the shared write-allocate machinery works on
+// both machines.
+func (s *Simulator) dirSnapshot(c *cpuState, line uint64) coherence.Snapshot {
+	e := s.dirEntryOf(line)
+	var snap coherence.Snapshot
+	snap.RemotePresent = e.RemoteHolders(c.id)
+	if e.Owner != coherence.NoOwner && e.Owner != c.id &&
+		s.cpus[e.Owner].l2.State(line) == coherence.Modified {
+		snap.RemoteDirty = true
+	}
+	return snap
+}
+
+// dirInvalidate sends precise invalidations to every holder other
+// than the requester, removing them from the entry. The requester's
+// own registration (if any) is preserved; ownership transfer is the
+// caller's move (dirSetOwner or a fill).
+func (s *Simulator) dirInvalidate(c *cpuState, line uint64, class trace.DataClass) {
+	e := s.dirEntryOf(line)
+	holders := e.Sharers // iterate a copy; ApplyInvalidate mutates e
+	holders.ForEach(func(i int) {
+		if i == c.id {
+			return
+		}
+		o := s.cpus[i]
+		if st, ok := o.l2.Invalidate(line); ok {
+			o.invalBy[line] = invalRecord{class: class}
+			for a := line; a < line+s.p.L2.LineSize; a += s.p.L1D.LineSize {
+				o.l1d.Invalidate(a)
+			}
+			s.emit(Event{Kind: EvInvalidate, CPU: c.id, Holder: i, Addr: line, State: st, Class: class})
+		}
+		e.ApplyInvalidate(i)
+	})
+	s.storeDir(c, line, e)
+}
+
+// dirSetOwner records the requester as the sole Exclusive/Modified
+// holder after an ownership upgrade.
+func (s *Simulator) dirSetOwner(c *cpuState, line uint64) {
+	e := s.dirEntryOf(line)
+	e.ApplyOwner(c.id)
+	s.storeDir(c, line, e)
+}
+
+// dirRegisterFill records a line landing in c's secondary cache.
+func (s *Simulator) dirRegisterFill(c *cpuState, line uint64, st coherence.State) {
+	e := s.dirEntryOf(line)
+	e.ApplyFill(c.id, st)
+	s.storeDir(c, line, e)
+}
+
+// dirDropHolder records c evicting a line (precise replacement hint;
+// dirty or clean, the directory forgets the holder).
+func (s *Simulator) dirDropHolder(c *cpuState, line uint64) {
+	e := s.dirEntryOf(line)
+	if !e.Sharers.Contains(c.id) {
+		return
+	}
+	e.ApplyEvict(c.id)
+	s.storeDir(c, line, e)
+}
+
+// dirDMADowngrade reflects a DMA write to memory in the directory:
+// the owner's copy (already downgraded in the cache arrays by the
+// caller) is clean-shared now.
+func (s *Simulator) dirDMADowngrade(c *cpuState, line uint64) {
+	e := s.dirEntryOf(line)
+	if e.Owner == coherence.NoOwner {
+		return
+	}
+	e.ApplyDowngrade()
+	s.storeDir(c, line, e)
+}

@@ -64,6 +64,13 @@ const (
 	EvWBPush
 	// EvWBRetire: an entry left the write buffer at Event.Level.
 	EvWBRetire
+	// EvDirUpdate: a home-node directory entry changed (directory
+	// coherence only). Addr is the line, Owner the new owner
+	// (coherence.NoOwner for none) and SharerCount the new holder
+	// count. Emitted after the entry mutation and all cache-state
+	// changes of the transaction, so the DirectoryEntry hook and the
+	// cache arrays are consistent with the event.
+	EvDirUpdate
 )
 
 // String names the event kind.
@@ -72,6 +79,7 @@ func (k EventKind) String() string {
 		"ref", "readhit", "forward", "noforward", "misscontext",
 		"readmiss", "fillread", "fillwrite", "evict", "invalidate",
 		"downgrade", "absorb", "upgrade", "update", "wbpush", "wbretire",
+		"dirupdate",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -106,6 +114,13 @@ type Event struct {
 	CtxInval bool
 	// Sharers reports whether remote sharers remained (EvUpdate).
 	Sharers bool
+	// Owner is the directory entry's new owner (EvDirUpdate;
+	// coherence.NoOwner when the line has no Exclusive/Modified
+	// holder).
+	Owner int
+	// SharerCount is the directory entry's new holder count
+	// (EvDirUpdate).
+	SharerCount int
 	// Ref is the reference being executed (EvRef, EvReadMiss).
 	Ref trace.Ref
 	// RefIndex is the global ordinal of the reference in flight when
@@ -167,3 +182,19 @@ func (s *Simulator) WriteBufferLens(cpu int) (l1wb, l2wb int) {
 
 // Params returns the machine parameters the simulator was built with.
 func (s *Simulator) Params() Params { return s.p }
+
+// DirectoryEntry returns the home-node directory record for the line
+// containing addr: the owner (coherence.NoOwner for none) and the
+// holders in ascending CPU order. ok is false when the machine is not
+// directory-coherent. An uncached line returns (NoOwner, nil, true).
+func (s *Simulator) DirectoryEntry(addr uint64) (owner int, holders []int, ok bool) {
+	if s.p.Coherence != CoherenceDirectory {
+		return coherence.NoOwner, nil, false
+	}
+	line := s.cpus[0].l2.LineAddr(addr)
+	e, present := s.dir[line]
+	if !present {
+		return coherence.NoOwner, nil, true
+	}
+	return e.Owner, e.Sharers.Members(), true
+}

@@ -61,10 +61,71 @@ func (s BlockScheme) String() string {
 	return fmt.Sprintf("BlockScheme(%d)", uint8(s))
 }
 
+// CoherenceKind selects the machine's coherence mechanism.
+type CoherenceKind uint8
+
+const (
+	// CoherenceSnoop is the paper's machine: a single snooping bus
+	// running Illinois MESI, with the selective Firefly update
+	// optimization available per page. Snooping caps the machine at
+	// MaxSnoopCPUs processors.
+	CoherenceSnoop CoherenceKind = iota
+	// CoherenceDirectory replaces the snooping bus with per-processor
+	// home nodes and a full-map directory (invalidation protocol; the
+	// per-page Update attribute is ignored). Lifts the CPU bound to
+	// MaxDirectoryCPUs.
+	CoherenceDirectory
+)
+
+// String names the coherence mechanism.
+func (k CoherenceKind) String() string {
+	switch k {
+	case CoherenceSnoop:
+		return "snoop"
+	case CoherenceDirectory:
+		return "directory"
+	default:
+		return fmt.Sprintf("CoherenceKind(%d)", uint8(k))
+	}
+}
+
+// ParseCoherence converts a coherence name ("snoop", "directory") to
+// its identifier.
+func ParseCoherence(name string) (CoherenceKind, error) {
+	switch name {
+	case "snoop", "mesi", "bus":
+		return CoherenceSnoop, nil
+	case "directory", "dir":
+		return CoherenceDirectory, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown coherence kind %q (want snoop or directory)", name)
+	}
+}
+
+// CPU-count ceilings by coherence mechanism. A snooping bus stops
+// scaling long before 64 processors electrically, but 64 is where the
+// simulator's original interface capped it; the directory machine is
+// bounded only by the trace format's uint8 CPU field.
+const (
+	MaxSnoopCPUs     = 64
+	MaxDirectoryCPUs = 256
+)
+
 // Params configures the simulated machine.
 type Params struct {
-	// NumCPUs is the processor count (4 in the paper).
+	// NumCPUs is the processor count (4 in the paper). The ceiling
+	// depends on Coherence: MaxSnoopCPUs or MaxDirectoryCPUs.
 	NumCPUs int
+	// Coherence selects snooping MESI/Firefly (the default) or the
+	// home-node directory protocol.
+	Coherence CoherenceKind
+	// L1WriteBack makes the primary data cache write-back for lines
+	// the local L2 already owns (Exclusive/Modified): such stores
+	// complete in one cycle without entering the write buffer. Stores
+	// to shared or missing lines still use the write-through path, so
+	// coherence decisions stay at L2. False is the paper's pure
+	// write-through machine.
+	L1WriteBack bool
 	// L1I, L1D, L2 are the cache geometries.
 	L1I cache.Config
 	L1D cache.Config
@@ -146,33 +207,109 @@ func DefaultParams() Params {
 	}
 }
 
-// Validate checks the machine description.
-func (p Params) Validate() error {
-	if p.NumCPUs <= 0 || p.NumCPUs > 64 {
-		return fmt.Errorf("sim: bad CPU count %d", p.NumCPUs)
+// FieldError reports one invalid machine parameter: which field, the
+// offending value, and why it was rejected. Validate returns the
+// first violation as a *FieldError so callers (the v1 API decoder,
+// the CLIs) can point at the exact knob instead of echoing a blob.
+type FieldError struct {
+	// Field is the dotted parameter path, e.g. "L1D.LineSize".
+	Field string
+	// Value is the rejected value, rendered.
+	Value string
+	// Reason explains the constraint that failed.
+	Reason string
+}
+
+// Error formats the violation.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("sim: %s = %s: %s", e.Field, e.Value, e.Reason)
+}
+
+func fieldErr(field string, value any, reason string) error {
+	return &FieldError{Field: field, Value: fmt.Sprint(value), Reason: reason}
+}
+
+// validateCache checks one cache geometry, attributing each violation
+// to the named field.
+func validateCache(name string, c cache.Config) error {
+	if c.Size == 0 {
+		return fieldErr(name+".Size", c.Size, "cache size must be positive")
 	}
-	for _, c := range []cache.Config{p.L1I, p.L1D, p.L2} {
-		if err := c.Validate(); err != nil {
-			return fmt.Errorf("sim: %w", err)
+	if c.LineSize == 0 {
+		return fieldErr(name+".LineSize", c.LineSize, "line size must be positive")
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fieldErr(name+".LineSize", c.LineSize, "line size must be a power of two")
+	}
+	if c.Assoc <= 0 {
+		return fieldErr(name+".Assoc", c.Assoc, "associativity must be positive")
+	}
+	if c.Size%(c.LineSize*uint64(c.Assoc)) != 0 {
+		return fieldErr(name+".Size", c.Size,
+			fmt.Sprintf("size must be a multiple of line size × associativity (%d×%d)", c.LineSize, c.Assoc))
+	}
+	sets := c.Size / (c.LineSize * uint64(c.Assoc))
+	if sets&(sets-1) != 0 {
+		return fieldErr(name+".Assoc", c.Assoc,
+			fmt.Sprintf("associativity must divide the cache into a power-of-two set count (got %d sets)", sets))
+	}
+	return nil
+}
+
+// Validate checks the machine description. Violations are returned
+// as *FieldError values naming the offending field.
+func (p Params) Validate() error {
+	if p.Coherence > CoherenceDirectory {
+		return fieldErr("Coherence", uint8(p.Coherence), "unknown coherence kind")
+	}
+	maxCPUs := MaxSnoopCPUs
+	if p.Coherence == CoherenceDirectory {
+		maxCPUs = MaxDirectoryCPUs
+	}
+	if p.NumCPUs <= 0 || p.NumCPUs > maxCPUs {
+		return fieldErr("NumCPUs", p.NumCPUs,
+			fmt.Sprintf("processor count must be in [1, %d] for %s coherence", maxCPUs, p.Coherence))
+	}
+	for _, nc := range []struct {
+		name string
+		c    cache.Config
+	}{{"L1I", p.L1I}, {"L1D", p.L1D}, {"L2", p.L2}} {
+		if err := validateCache(nc.name, nc.c); err != nil {
+			return err
+		}
+		// The mirror above must stay in sync with the cache package's
+		// own invariants; a config it accepts must construct.
+		if err := nc.c.Validate(); err != nil {
+			return fieldErr(nc.name, nc.c, err.Error())
 		}
 	}
 	if p.L2.LineSize < p.L1D.LineSize {
-		return fmt.Errorf("sim: L2 line (%d) smaller than L1D line (%d)", p.L2.LineSize, p.L1D.LineSize)
+		return fieldErr("L2.LineSize", p.L2.LineSize,
+			fmt.Sprintf("secondary line must not be smaller than the primary line (%d)", p.L1D.LineSize))
 	}
-	if p.L1WriteBufDepth <= 0 || p.L2WriteBufDepth <= 0 {
-		return fmt.Errorf("sim: non-positive write buffer depth")
+	if p.L1WriteBufDepth <= 0 {
+		return fieldErr("L1WriteBufDepth", p.L1WriteBufDepth, "write buffer depth must be positive")
 	}
-	if p.L1HitCycles == 0 || p.L2HitCycles == 0 || p.MemCycles == 0 {
-		return fmt.Errorf("sim: zero latency parameter")
+	if p.L2WriteBufDepth <= 0 {
+		return fieldErr("L2WriteBufDepth", p.L2WriteBufDepth, "write buffer depth must be positive")
+	}
+	if p.L1HitCycles == 0 {
+		return fieldErr("L1HitCycles", p.L1HitCycles, "latency must be positive")
+	}
+	if p.L2HitCycles == 0 {
+		return fieldErr("L2HitCycles", p.L2HitCycles, "latency must be positive")
+	}
+	if p.MemCycles == 0 {
+		return fieldErr("MemCycles", p.MemCycles, "latency must be positive")
 	}
 	if err := p.Bus.Validate(); err != nil {
-		return err
+		return fieldErr("Bus", p.Bus, err.Error())
 	}
 	if p.MSHREntries <= 0 {
-		return fmt.Errorf("sim: non-positive MSHR entries")
+		return fieldErr("MSHREntries", p.MSHREntries, "MSHR entry count must be positive")
 	}
 	if p.Block == BlockBypassPref && p.PrefBufLines <= 0 {
-		return fmt.Errorf("sim: bypass+pref needs a prefetch buffer")
+		return fieldErr("PrefBufLines", p.PrefBufLines, "bypass+pref needs a prefetch buffer")
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestValidateRejections drives every rejection path of
+// Params.Validate from a boundary value and checks that the error is
+// a *FieldError naming the offending field — the contract the v1 API
+// decoder and the CLIs rely on to point at the exact knob.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		field  string
+	}{
+		{"coherence-unknown", func(p *Params) { p.Coherence = CoherenceDirectory + 1 }, "Coherence"},
+		{"cpus-zero", func(p *Params) { p.NumCPUs = 0 }, "NumCPUs"},
+		{"cpus-negative", func(p *Params) { p.NumCPUs = -1 }, "NumCPUs"},
+		{"cpus-over-snoop-cap", func(p *Params) { p.NumCPUs = MaxSnoopCPUs + 1 }, "NumCPUs"},
+		{"cpus-over-directory-cap", func(p *Params) {
+			p.Coherence = CoherenceDirectory
+			p.NumCPUs = MaxDirectoryCPUs + 1
+		}, "NumCPUs"},
+		{"l1i-size-zero", func(p *Params) { p.L1I.Size = 0 }, "L1I.Size"},
+		{"l1d-size-zero", func(p *Params) { p.L1D.Size = 0 }, "L1D.Size"},
+		{"l2-size-zero", func(p *Params) { p.L2.Size = 0 }, "L2.Size"},
+		{"l1d-line-zero", func(p *Params) { p.L1D.LineSize = 0 }, "L1D.LineSize"},
+		{"l1d-line-not-pow2", func(p *Params) { p.L1D.LineSize = 24 }, "L1D.LineSize"},
+		{"l2-line-not-pow2", func(p *Params) { p.L2.LineSize = 48 }, "L2.LineSize"},
+		{"l1d-assoc-zero", func(p *Params) { p.L1D.Assoc = 0 }, "L1D.Assoc"},
+		{"l2-assoc-negative", func(p *Params) { p.L2.Assoc = -2 }, "L2.Assoc"},
+		{"l1d-size-not-multiple", func(p *Params) { p.L1D.Size = 32*1024 + 8 }, "L1D.Size"},
+		{"l2-assoc-non-pow2-sets", func(p *Params) {
+			// 96 KB / (32 B x 1 way) = 3072 sets: a multiple, but the
+			// set count is not a power of two.
+			p.L2.Size = 96 * 1024
+		}, "L2.Assoc"},
+		{"l2-line-under-l1d-line", func(p *Params) {
+			p.L1D.LineSize = 64
+			p.L2.LineSize = 32
+		}, "L2.LineSize"},
+		{"l1-wb-depth-zero", func(p *Params) { p.L1WriteBufDepth = 0 }, "L1WriteBufDepth"},
+		{"l2-wb-depth-zero", func(p *Params) { p.L2WriteBufDepth = 0 }, "L2WriteBufDepth"},
+		{"l1-hit-zero", func(p *Params) { p.L1HitCycles = 0 }, "L1HitCycles"},
+		{"l2-hit-zero", func(p *Params) { p.L2HitCycles = 0 }, "L2HitCycles"},
+		{"mem-zero", func(p *Params) { p.MemCycles = 0 }, "MemCycles"},
+		{"bus-zero-width", func(p *Params) { p.Bus.WidthBytes = 0 }, "Bus"},
+		{"mshr-zero", func(p *Params) { p.MSHREntries = 0 }, "MSHREntries"},
+		{"prefbuf-zero-for-bypass-pref", func(p *Params) {
+			p.Block = BlockBypassPref
+			p.PrefBufLines = 0
+		}, "PrefBufLines"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Validate returned %T (%v), want *FieldError", err, err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("violation attributed to %q, want %q (%v)", fe.Field, tc.field, fe)
+			}
+			if fe.Value == "" || fe.Reason == "" {
+				t.Errorf("FieldError missing value or reason: %+v", fe)
+			}
+		})
+	}
+}
+
+// TestValidateBoundaryAcceptance pins the values at the edge of each
+// bound that must remain legal — in particular that selecting
+// directory coherence lifts the CPU ceiling.
+func TestValidateBoundaryAcceptance(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"default", func(p *Params) {}},
+		{"one-cpu", func(p *Params) { p.NumCPUs = 1 }},
+		{"snoop-cap", func(p *Params) { p.NumCPUs = MaxSnoopCPUs }},
+		{"directory-past-snoop-cap", func(p *Params) {
+			p.Coherence = CoherenceDirectory
+			p.NumCPUs = MaxSnoopCPUs + 1
+		}},
+		{"directory-cap", func(p *Params) {
+			p.Coherence = CoherenceDirectory
+			p.NumCPUs = MaxDirectoryCPUs
+		}},
+		{"set-associative", func(p *Params) {
+			p.L1D.Assoc = 4
+			p.L2.Assoc = 8
+		}},
+		{"wide-lines", func(p *Params) {
+			p.L1D.LineSize = 128
+			p.L1I.LineSize = 128
+			p.L2.LineSize = 128
+		}},
+		{"l1-writeback", func(p *Params) { p.L1WriteBack = true }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate rejected %s: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestParseCoherence pins the accepted spellings and the error path.
+func TestParseCoherence(t *testing.T) {
+	for name, want := range map[string]CoherenceKind{
+		"snoop": CoherenceSnoop, "mesi": CoherenceSnoop, "bus": CoherenceSnoop,
+		"directory": CoherenceDirectory, "dir": CoherenceDirectory,
+	} {
+		got, err := ParseCoherence(name)
+		if err != nil || got != want {
+			t.Errorf("ParseCoherence(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseCoherence("token-ring"); err == nil {
+		t.Error("ParseCoherence accepted an unknown protocol name")
+	}
+}

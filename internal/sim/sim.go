@@ -6,6 +6,8 @@ import (
 	"fmt"
 
 	"oscachesim/internal/bus"
+	"oscachesim/internal/coherence"
+	"oscachesim/internal/memory"
 	"oscachesim/internal/stats"
 	"oscachesim/internal/trace"
 )
@@ -19,6 +21,14 @@ type Simulator struct {
 	cpus []*cpuState
 	bus  *bus.Bus
 	c    stats.Counters
+
+	// Directory coherence (Params.Coherence == CoherenceDirectory):
+	// memory lines are interleaved across per-processor home nodes,
+	// each with its own port timeline instead of the shared bus, and
+	// dir holds the full-map directory entries of cached lines.
+	home  memory.HomeMap
+	ports []*bus.Bus
+	dir   map[uint64]coherence.DirEntry
 
 	locks    map[uint32]*lockState
 	barriers map[uint32]*barrierState
@@ -91,6 +101,14 @@ func New(p Params, sources []trace.Source) (*Simulator, error) {
 		bus:      bus.New(p.Bus),
 		locks:    make(map[uint32]*lockState),
 		barriers: make(map[uint32]*barrierState),
+	}
+	if p.Coherence == CoherenceDirectory {
+		s.home = memory.NewHomeMap(p.NumCPUs, p.L2.LineSize)
+		s.ports = make([]*bus.Bus, p.NumCPUs)
+		for i := range s.ports {
+			s.ports[i] = bus.New(p.Bus)
+		}
+		s.dir = make(map[uint64]coherence.DirEntry)
 	}
 	if p.RegionNamer != nil {
 		s.conflicts = make(map[ConflictPair]uint64)
@@ -349,6 +367,12 @@ func (s *Simulator) finish() {
 	}
 	s.c.Cycles = maxTime
 	s.c.Bus = s.bus.Stats()
+	// A directory machine's traffic lives on the home-node ports;
+	// aggregate them into the single machine-wide record (the shared
+	// bus is unused and reports zeros).
+	for _, port := range s.ports {
+		s.c.Bus.Accumulate(port.Stats())
+	}
 }
 
 // Bus returns the shared bus (for inspection in tests).

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"oscachesim/internal/kernel"
@@ -27,6 +26,9 @@ const DefaultChunkRefs = 1 << 13
 // StreamOptions tunes the streaming pipeline. The zero value is ready
 // to use.
 type StreamOptions struct {
+	// NumCPUs is the processor count to trace (0 = NumCPUs, the
+	// paper's 4). Must not exceed MaxCPUs; see BuildN.
+	NumCPUs int
 	// ChunkRefs is the flush granularity per CPU (0 = DefaultChunkRefs).
 	ChunkRefs int
 	// BudgetRefs is the per-CPU soft cap on references queued in the
@@ -54,6 +56,7 @@ type Streamed struct {
 	Name   Name
 	Kernel *kernel.Kernel
 
+	n       int
 	pipe    *trace.ChunkPipeline
 	done    chan struct{}
 	err     error
@@ -68,6 +71,13 @@ func Stream(name Name, opt kernel.OptConfig, scale int, seed int64, sopt StreamO
 	if scale <= 0 {
 		scale = DefaultScale
 	}
+	ncpus := sopt.NumCPUs
+	if ncpus == 0 {
+		ncpus = NumCPUs
+	}
+	if ncpus < 1 || ncpus > MaxCPUs {
+		panic(fmt.Sprintf("workload: Stream with %d CPUs (want 1..%d)", ncpus, MaxCPUs))
+	}
 	chunk := sopt.ChunkRefs
 	if chunk <= 0 {
 		chunk = DefaultChunkRefs
@@ -79,7 +89,8 @@ func Stream(name Name, opt kernel.OptConfig, scale int, seed int64, sopt StreamO
 	st := &Streamed{
 		Name:    name,
 		Kernel:  kernel.New(opt),
-		pipe:    trace.NewChunkPipeline(NumCPUs, budget),
+		n:       ncpus,
+		pipe:    trace.NewChunkPipeline(ncpus, budget),
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
@@ -100,17 +111,9 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 		}
 	}()
 
-	g := &generator{
-		p:      ProfileFor(st.Name),
-		k:      st.Kernel,
-		seed:   seed,
-		ems:    make([]*kernel.Emitter, NumCPUs),
-		rngs:   make([]*rand.Rand, NumCPUs),
-		cursor: make([]uint64, NumCPUs),
-		proc:   make([]int, NumCPUs),
-	}
+	g := newGenerator(ProfileFor(st.Name), st.Kernel, seed, st.n)
 	aborted := false
-	for c := 0; c < NumCPUs; c++ {
+	for c := 0; c < st.n; c++ {
 		cpu := c
 		g.ems[c] = &kernel.Emitter{
 			CPU:     uint8(c),
@@ -130,17 +133,14 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 				return trace.GetBatch(chunk)
 			},
 		}
-		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
-		g.proc[c] = c*procsPerCPU + 1
 	}
-	g.global = rand.New(rand.NewSource(seed * 7919))
 
 	var projected uint64
 	for round := 0; round < scale; round++ {
 		g.round(round)
 		// Flush every emitter at the round boundary so a consumer never
 		// starves on references that are generated but still buffered.
-		for c := 0; c < NumCPUs; c++ {
+		for c := 0; c < st.n; c++ {
 			g.ems[c].FlushPending()
 		}
 		if aborted {
@@ -161,7 +161,7 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 	}
 	// The final buffers were flushed at the last round boundary; return
 	// the (now empty) emit buffers to the pool.
-	for c := 0; c < NumCPUs; c++ {
+	for c := 0; c < st.n; c++ {
 		trace.PutBatch(g.ems[c].Refs)
 		g.ems[c].Refs = nil
 	}
@@ -171,7 +171,7 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 // Built.Sources, the stream is single-use: call Sources once and drive
 // every source to exhaustion (or Abort).
 func (st *Streamed) Sources() []trace.Source {
-	srcs := make([]trace.Source, NumCPUs)
+	srcs := make([]trace.Source, st.n)
 	for c := range srcs {
 		srcs[c] = st.pipe.Source(c)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"oscachesim/internal/kernel"
@@ -13,8 +14,18 @@ import (
 // small enough for sub-second simulations.
 const DefaultScale = 24
 
-// NumCPUs is the processor count of the traced machine.
+// NumCPUs is the processor count of the paper's traced machine and
+// the default for Build and Stream.
 const NumCPUs = 4
+
+// MaxCPUs bounds BuildN: the kernel address layout privatizes
+// per-CPU structures (stacks, counters, cpievents slots) for the
+// paper's 4-CPU machine; beyond the windows those layouts reserve,
+// per-CPU addresses wrap deterministically (see kernel.KStackAddr and
+// generator.procBase), which aliases some structures across distant
+// CPUs but keeps every trace reproducible. trace.Ref carries the CPU
+// in a uint8, setting the hard ceiling.
+const MaxCPUs = 256
 
 // Built is a generated workload: per-CPU reference streams plus the
 // kernel that produced them (whose deferred-copy counters feed
@@ -79,53 +90,84 @@ func (b *Built) Release() {
 	}
 }
 
-// Build generates a workload trace deterministically from the seed.
-// The kernel OptConfig selects the software-side optimizations; the
-// same (name, opt, scale, seed) always produces the same trace.
+// Build generates a workload trace for the paper's 4-CPU machine,
+// deterministically from the seed. The kernel OptConfig selects the
+// software-side optimizations; the same (name, opt, scale, seed)
+// always produces the same trace.
 func Build(name Name, opt kernel.OptConfig, scale int, seed int64) *Built {
+	return BuildN(name, opt, scale, seed, NumCPUs)
+}
+
+// BuildN generates a workload trace for an ncpus-processor machine
+// (0 = NumCPUs). The first NumCPUs processors' reference streams are
+// byte-identical to Build's regardless of ncpus — per-CPU RNG streams
+// are seeded independently and the per-round service plan is drawn
+// from a CPU-independent stream — so the paper goldens are unaffected
+// by the generalization. ncpus must be in [1, MaxCPUs].
+func BuildN(name Name, opt kernel.OptConfig, scale int, seed int64, ncpus int) *Built {
+	if ncpus == 0 {
+		ncpus = NumCPUs
+	}
+	if ncpus < 1 || ncpus > MaxCPUs {
+		panic(fmt.Sprintf("workload: BuildN with %d CPUs (want 1..%d)", ncpus, MaxCPUs))
+	}
 	if scale <= 0 {
 		scale = DefaultScale
 	}
 	p := ProfileFor(name)
 	k := kernel.New(opt)
-	g := &generator{
-		p:      p,
-		k:      k,
-		seed:   seed,
-		ems:    make([]*kernel.Emitter, NumCPUs),
-		rngs:   make([]*rand.Rand, NumCPUs),
-		cursor: make([]uint64, NumCPUs),
-		proc:   make([]int, NumCPUs),
-	}
-	for c := 0; c < NumCPUs; c++ {
+	g := newGenerator(p, k, seed, ncpus)
+	for c := 0; c < ncpus; c++ {
 		g.ems[c] = &kernel.Emitter{CPU: uint8(c), Refs: trace.GetBatch(1 << 14)}
-		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
-		g.proc[c] = c*procsPerCPU + 1
 	}
-	g.global = rand.New(rand.NewSource(seed * 7919))
 	for round := 0; round < scale; round++ {
 		g.round(round)
 		if round == 0 && scale > 1 {
 			// Rounds are statistically alike, so the first round sizes
 			// the rest: reserve the remaining capacity (plus 10% slack)
 			// in one step instead of a doubling cascade of copies.
-			for c := 0; c < NumCPUs; c++ {
+			for c := 0; c < ncpus; c++ {
 				g.ems[c].Reserve(len(g.ems[c].Refs) * (scale - 1) * 11 / 10)
 			}
 		}
 	}
-	per := make([][]trace.Ref, NumCPUs)
-	for c := 0; c < NumCPUs; c++ {
+	per := make([][]trace.Ref, ncpus)
+	for c := 0; c < ncpus; c++ {
 		per[c] = g.ems[c].Refs
 	}
 	return &Built{Name: name, PerCPU: per, Kernel: k, released: new(bool)}
 }
 
+// newGenerator builds the generator state shared by BuildN and the
+// streaming producer: per-CPU RNGs, process assignments and the
+// global service-plan RNG. Emitters are left for the caller, whose
+// flush policies differ.
+func newGenerator(p Profile, k *kernel.Kernel, seed int64, ncpus int) *generator {
+	g := &generator{
+		p:      p,
+		k:      k,
+		seed:   seed,
+		n:      ncpus,
+		ems:    make([]*kernel.Emitter, ncpus),
+		rngs:   make([]*rand.Rand, ncpus),
+		cursor: make([]uint64, ncpus),
+		proc:   make([]int, ncpus),
+	}
+	for c := 0; c < ncpus; c++ {
+		g.rngs[c] = rand.New(rand.NewSource(seed*1000003 + int64(c)))
+		g.proc[c] = g.procBase(c)
+	}
+	g.global = rand.New(rand.NewSource(seed * 7919))
+	return g
+}
+
 // generator carries the mutable state of one build.
 type generator struct {
-	p      Profile
-	k      *kernel.Kernel
-	seed   int64
+	p    Profile
+	k    *kernel.Kernel
+	seed int64
+	// n is the processor count being traced.
+	n      int
 	ems    []*kernel.Emitter
 	rngs   []*rand.Rand
 	global *rand.Rand
@@ -142,6 +184,16 @@ type generator struct {
 // not migrate processes) and keeps the user working set realistic.
 const procsPerCPU = 4
 
+// procBase is the first process id of cpu c's resident pool. The
+// kernel's process table holds kernel.NProcs entries, so beyond
+// (NProcs-procsPerCPU)/procsPerCPU processors the pools wrap and
+// distant CPUs share processes — deterministic aliasing that models
+// an over-committed process table. For c <= 62 this is exactly the
+// historical c*procsPerCPU+1, so 4-CPU traces are unchanged.
+func (g *generator) procBase(c int) int {
+	return (c*procsPerCPU)%(kernel.NProcs-procsPerCPU) + 1
+}
+
 // round generates one scheduling quantum on every processor. Rounds
 // are generated CPU-by-CPU but synchronization annotations keep the
 // simulator's interleaving honest.
@@ -151,7 +203,7 @@ func (g *generator) round(round int) {
 		barriers = max(1, g.p.BarriersPerRound)
 	}
 	svc := g.drawServices()
-	for c := 0; c < NumCPUs; c++ {
+	for c := 0; c < g.n; c++ {
 		e, rng := g.ems[c], g.rngs[c]
 		// Kernel-service details (sizes, victims, jitter) are drawn
 		// from a per-round stream identical on every CPU, so
@@ -162,7 +214,7 @@ func (g *generator) round(round int) {
 		// processors synchronize before the parallel program resumes
 		// (Section 5's explanation of the barrier misses).
 		for b := 0; b < barriers; b++ {
-			g.k.GangBarrier(e, (round+b)%kernel.NumBarriers, uint32(round*8+b), NumCPUs)
+			g.k.GangBarrier(e, (round+b)%kernel.NumBarriers, uint32(round*8+b), g.n)
 		}
 		if rng.Float64() < g.p.IdleFrac {
 			// An idle quantum runs the idle loop for about as long as
@@ -178,7 +230,7 @@ func (g *generator) round(round int) {
 		for i := 0; i <= len(steps); i++ {
 			g.userBurst(c, chunk)
 			if i < len(steps) {
-				steps[(i+c*len(steps)/NumCPUs)%len(steps)]()
+				steps[(i+c*len(steps)/g.n)%len(steps)]()
 			}
 		}
 	}
@@ -238,7 +290,7 @@ func (g *generator) osServices(c, round int, svc services, rng *rand.Rand) []fun
 			from := g.proc[c]
 			// Processes are CPU-affine: the scheduler rotates within
 			// the processor's small resident pool.
-			to := c*procsPerCPU + 1 + rng.Intn(procsPerCPU)
+			to := g.procBase(c) + rng.Intn(procsPerCPU)
 			g.k.Schedule(e, rng, from, to)
 			g.proc[c] = to
 		})
@@ -284,14 +336,18 @@ func (g *generator) osServices(c, round int, svc services, rng *rand.Rand) []fun
 	for i := svc.ipis; i > 0; i-- {
 		add(func() {
 			// The sender writes the target's cpievents slot; the
-			// target handles the interrupt in its own stream.
-			target := (c + 1 + rng.Intn(NumCPUs-1)) % NumCPUs
+			// target handles the interrupt in its own stream. A
+			// uniprocessor interrupts itself (softints).
+			target := c
+			if g.n > 1 {
+				target = (c + 1 + rng.Intn(g.n-1)) % g.n
+			}
 			g.k.SendIPI(e, rng, target)
 			g.k.HandleIPI(g.ems[target], rng)
 		})
 	}
-	if p.PagerEvery > 0 && round%p.PagerEvery == 0 && c == round/p.PagerEvery%NumCPUs {
-		add(func() { g.k.Pager(e, rng, NumCPUs) })
+	if p.PagerEvery > 0 && round%p.PagerEvery == 0 && c == round/p.PagerEvery%g.n {
+		add(func() { g.k.Pager(e, rng, g.n) })
 	}
 	return steps
 }

@@ -99,6 +99,34 @@ type MachineParams = sim.Params
 // coherence on an 8-byte 40-MHz split-transaction bus.
 func DefaultMachine() MachineParams { return sim.DefaultParams() }
 
+// CoherenceKind selects the coherence protocol family of the machine.
+type CoherenceKind = sim.CoherenceKind
+
+const (
+	// CoherenceSnoop is the paper's snooping bus (Illinois MESI with
+	// the optional selective Firefly update). The default.
+	CoherenceSnoop = sim.CoherenceSnoop
+	// CoherenceDirectory is a full-map directory protocol with
+	// per-processor home nodes; it scales past the snooping bus's
+	// 64-CPU ceiling (up to 256 CPUs) and ignores the Firefly update
+	// attribute.
+	CoherenceDirectory = sim.CoherenceDirectory
+)
+
+// ParseCoherence converts a protocol name ("snoop", "directory") to
+// its identifier.
+func ParseCoherence(name string) (CoherenceKind, error) { return sim.ParseCoherence(name) }
+
+// DirectoryMachine returns the paper's machine scaled to ncpus
+// processors under directory coherence — the starting point for
+// scalability studies beyond the bus-based 4-CPU configuration.
+func DirectoryMachine(ncpus int) MachineParams {
+	p := sim.DefaultParams()
+	p.NumCPUs = ncpus
+	p.Coherence = sim.CoherenceDirectory
+	return p
+}
+
 // Sim is a configured simulation built by New. The zero value is not
 // usable.
 type Sim struct {
