@@ -13,6 +13,7 @@ import (
 
 	"oscachesim/internal/experiment"
 	"oscachesim/internal/kernel"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/trace"
 	"oscachesim/internal/workload"
@@ -204,6 +205,24 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		built := workload.Build(workload.Shell, kernel.OptConfig{}, 2, int64(i)+1)
+		built.Release()
+	}
+}
+
+// BenchmarkScenarioBuild measures declarative-scenario trace
+// generation alone, on the heaviest preset (os-mix: a composed base
+// profile plus sharing, false-sharing and block-operation emitters).
+func BenchmarkScenarioBuild(b *testing.B) {
+	spec, err := scenario.Preset("os-mix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		built, err := workload.BuildSpec(spec, kernel.OptConfig{}, 1, int64(i)+1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		built.Release()
 	}
 }

@@ -5,6 +5,9 @@
 // Usage:
 //
 //	ossim [-workload TRFD_4] [-system Base] [-scale N] [-seed N] [-check]
+//	ossim -scenario fs-naive           # a built-in scenario preset
+//	ossim -scenario my-workload.json   # a declarative scenario spec file
+//	ossim -list-workloads              # enumerate workloads and presets
 //	ossim -v           # append the per-stage timing breakdown
 //	ossim -stream -v   # overlap generation with simulation; report stalls
 package main
@@ -20,6 +23,7 @@ import (
 
 	"oscachesim/internal/check"
 	"oscachesim/internal/core"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/stats"
 	"oscachesim/internal/trace"
@@ -41,8 +45,15 @@ func main() {
 		ncpus   = flag.Int("cpus", 0, "processor count (0 = the paper's 4; directory coherence allows up to 256)")
 		cohname = flag.String("coherence", "", "coherence protocol: snoop (default) or directory")
 		l1wb    = flag.Bool("l1wb", false, "make the primary data cache write-back (stores to L2-owned lines complete locally)")
+		scnArg  = flag.String("scenario", "", "declarative scenario: a spec file path or a preset name (see -list-workloads)")
+		listW   = flag.Bool("list-workloads", false, "list the built-in workloads and scenario presets, then exit")
 	)
 	flag.Parse()
+
+	if *listW {
+		listWorkloads()
+		return
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -55,14 +66,32 @@ func main() {
 		runTraceFile(ctx, *tfile, sys, *docheck, *verbose)
 		return
 	}
-	w, err := workload.ParseName(*wname)
-	if err != nil {
-		fatal(err)
-	}
 	cfg := core.RunConfig{
-		Workload: w, System: sys, Scale: *scale, Seed: *seed,
+		System: sys, Scale: *scale, Seed: *seed,
 		DeferredCopy: *dcopy, PureUpdate: *pureUp, Stream: *stream,
 		Machine: machineFromFlags(*ncpus, *cohname, *l1wb),
+	}
+	if *scnArg != "" {
+		explicitWorkload := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				explicitWorkload = true
+			}
+		})
+		if explicitWorkload {
+			fatal(fmt.Errorf("pass either -workload or -scenario, not both"))
+		}
+		spec, err := scenario.Resolve(*scnArg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Scenario = spec
+	} else {
+		w, err := workload.ParseName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Workload = w
 	}
 	var k *check.Checker
 	if *docheck {
@@ -161,6 +190,19 @@ func runTraceFile(ctx context.Context, path string, system core.System, docheck,
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ossim:", err)
 	os.Exit(1)
+}
+
+// listWorkloads prints the built-in workload profiles and scenario
+// presets with their one-line descriptions.
+func listWorkloads() {
+	fmt.Println("Built-in workloads (-workload):")
+	for _, w := range workload.Names() {
+		fmt.Printf("  %-12s %s\n", w, workload.Description(w))
+	}
+	fmt.Println("\nScenario presets (-scenario, or pass a spec file path):")
+	for _, name := range scenario.PresetNames() {
+		fmt.Printf("  %-12s %s\n", name, scenario.PresetDescription(name))
+	}
 }
 
 // machineFromFlags builds the machine override the -cpus, -coherence

@@ -1,7 +1,7 @@
-// Command sweep runs cache-geometry parameter sweeps (the Figures 6-7
-// studies, generalized to arbitrary grids): for each geometry it
-// simulates the chosen systems and prints normalized OS execution time
-// and miss counts.
+// Command sweep runs parameter sweeps: cache-geometry grids (the
+// Figures 6-7 studies, generalized to arbitrary grids) and scenario
+// sharing-degree sweeps. For each grid point it simulates the chosen
+// systems and prints normalized OS execution time and miss counts.
 //
 // Simulations run through the shared experiment.Runner memoization —
 // the same content-addressed cache the ossimd daemon serves from — so
@@ -12,6 +12,8 @@
 //
 //	sweep -sizes 16,32,64 -systems Base,Blk_Dma,BCPref
 //	sweep -linesizes 16,32,64 -l2line 64
+//	sweep -scenario sharing -sharers 1,2,4,8,16 -cpus 16 -coherence directory
+//	sweep -scenario my-spec.json -sizes 16,32,64
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/workload"
 )
@@ -41,6 +44,8 @@ func main() {
 		ncpus   = flag.Int("cpus", 0, "processor count at every grid point (0 = the paper's 4)")
 		cohname = flag.String("coherence", "", "coherence protocol at every grid point: snoop (default) or directory")
 		wname    = flag.String("workload", "", "workload (default: all four)")
+		scnArg   = flag.String("scenario", "", "declarative scenario: a spec file path or a preset name (replaces -workload)")
+		sharers  = flag.String("sharers", "", "comma-separated sharing degrees to sweep (requires -scenario)")
 		scale    = flag.Int("scale", 0, "scheduling rounds (0 = default)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		parallel = flag.Bool("parallel", true, "fan grid points across workers (output is identical to serial)")
@@ -49,8 +54,20 @@ func main() {
 		verbose  = flag.Bool("v", false, "append per-worker scheduler stats (busy/idle time, runs, steals)")
 	)
 	flag.Parse()
-	if (*sizes == "") == (*lines == "") {
-		fatal(fmt.Errorf("pass exactly one of -sizes or -linesizes"))
+	axes := 0
+	for _, s := range []string{*sizes, *lines, *sharers} {
+		if s != "" {
+			axes++
+		}
+	}
+	if axes != 1 {
+		fatal(fmt.Errorf("pass exactly one of -sizes, -linesizes or -sharers"))
+	}
+	if *sharers != "" && *scnArg == "" {
+		fatal(fmt.Errorf("-sharers sweeps a scenario's sharing degree; pass -scenario too"))
+	}
+	if *scnArg != "" && *wname != "" {
+		fatal(fmt.Errorf("pass either -workload or -scenario, not both"))
 	}
 
 	base := sim.DefaultParams()
@@ -63,6 +80,15 @@ func main() {
 			fatal(err)
 		}
 		base.Coherence = kind
+	}
+
+	var spec *scenario.Spec
+	if *scnArg != "" {
+		var err error
+		spec, err = scenario.Resolve(*scnArg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var systems []core.System
@@ -81,13 +107,21 @@ func main() {
 		}
 		workloads = []workload.Name{w}
 	}
+	if spec != nil {
+		// One scenario replaces the workload axis.
+		workloads = []workload.Name{workload.SpecWorkloadName(spec)}
+	}
 
+	// point is one grid cell: a machine geometry, and for sharing-degree
+	// sweeps the degree-derived scenario spec.
 	type point struct {
 		label string
 		p     sim.Params
+		spec  *scenario.Spec
 	}
 	var grid []point
-	if *sizes != "" {
+	switch {
+	case *sizes != "":
 		for _, tok := range strings.Split(*sizes, ",") {
 			kb, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
 			if err != nil {
@@ -95,9 +129,9 @@ func main() {
 			}
 			p := base
 			p.L1D.Size = kb * 1024
-			grid = append(grid, point{fmt.Sprintf("%dKB", kb), p})
+			grid = append(grid, point{fmt.Sprintf("%dKB", kb), p, spec})
 		}
-	} else {
+	case *lines != "":
 		for _, tok := range strings.Split(*lines, ",") {
 			ls, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
 			if err != nil {
@@ -110,8 +144,33 @@ func main() {
 			if p.L2.LineSize < ls {
 				p.L2.LineSize = ls
 			}
-			grid = append(grid, point{fmt.Sprintf("%dB", ls), p})
+			grid = append(grid, point{fmt.Sprintf("%dB", ls), p, spec})
 		}
+	default:
+		for _, tok := range strings.Split(*sharers, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fatal(err)
+			}
+			if d < 1 || d > base.NumCPUs {
+				fatal(fmt.Errorf("sharing degree %d outside [1, %d] (pass -cpus to widen the machine)", d, base.NumCPUs))
+			}
+			grid = append(grid, point{fmt.Sprintf("d=%d", d), base, spec.WithSharingDegree(d)})
+		}
+	}
+
+	cfgFor := func(w workload.Name, pt point, sys core.System) core.RunConfig {
+		p := pt.p
+		cfg := core.RunConfig{
+			System: sys, Scale: *scale, Seed: *seed,
+			Machine: &p, Stream: *stream,
+		}
+		if pt.spec != nil {
+			cfg.Scenario = pt.spec
+		} else {
+			cfg.Workload = w
+		}
+		return cfg
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,11 +186,7 @@ func main() {
 	for _, w := range workloads {
 		for _, pt := range grid {
 			for _, sys := range systems {
-				p := pt.p
-				cfgs = append(cfgs, core.RunConfig{
-					Workload: w, System: sys, Scale: *scale, Seed: *seed,
-					Machine: &p, Stream: *stream,
-				})
+				cfgs = append(cfgs, cfgFor(w, pt, sys))
 			}
 		}
 	}
@@ -142,13 +197,22 @@ func main() {
 		fatal(err)
 	}
 
+	// Geometry sweeps normalize by OS execution time, the paper's
+	// metric. Scenario sweeps are user-level studies, so they
+	// normalize by total cycles and count all data-read misses.
+	metric := func(o *core.Outcome) (uint64, uint64) {
+		if spec != nil {
+			return o.Counters.Cycles, o.Counters.TotalDReadMisses()
+		}
+		return o.OSTime(), o.Counters.OSDReadMisses()
+	}
 	for _, w := range workloads {
 		fmt.Printf("== %s\n", w)
 		for _, pt := range grid {
 			var baseTime uint64
 			fmt.Printf("  %-6s", pt.label)
 			for i, sys := range systems {
-				o, err := r.OutcomeOn(w, sys, pt.p)
+				o, err := r.OutcomeConfig(ctx, cfgFor(w, pt, sys))
 				if err != nil {
 					if errors.Is(err, context.Canceled) {
 						fmt.Println()
@@ -156,10 +220,11 @@ func main() {
 					}
 					fatal(err)
 				}
+				t, misses := metric(o)
 				if i == 0 {
-					baseTime = o.OSTime()
+					baseTime = t
 				}
-				fmt.Printf("  %s=%.3f (misses=%d)", sys, float64(o.OSTime())/float64(baseTime), o.Counters.OSDReadMisses())
+				fmt.Printf("  %s=%.3f (misses=%d)", sys, float64(t)/float64(baseTime), misses)
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,93 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/scenario"
+)
+
+// TestScenarioDifferential runs every scenario preset with the oracle
+// attached, on the paper's 4-CPU snooping machine and on a 16-CPU
+// directory machine. The presets cover every scenario emitter: the
+// false-sharing trio (packed, padded and chunked counter layouts),
+// pure sharing traffic, and the two-phase composite with kernel
+// services and block operations — so a divergence in any emitter's
+// address arithmetic or the simulator's handling of it fails here.
+func TestScenarioDifferential(t *testing.T) {
+	systems := map[string]core.System{
+		"fs-naive":   core.Base,
+		"fs-padded":  core.Base,
+		"fs-chunked": core.BCohRelUp, // update protocol against RMW ping-pong
+		"sharing":    core.Base,
+		"os-mix":     core.BCPref, // full optimization stack over block ops
+	}
+	for _, name := range scenario.PresetNames() {
+		name := name
+		sys, ok := systems[name]
+		if !ok {
+			sys = core.Base
+		}
+		t.Run("snoop4/"+name, func(t *testing.T) {
+			spec, err := scenario.Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := Differential(context.Background(), core.RunConfig{
+				Scenario: spec, System: sys, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Refs == 0 {
+				t.Fatal("no references simulated")
+			}
+		})
+		t.Run("dir16/"+name, func(t *testing.T) {
+			spec, err := scenario.Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := Differential(context.Background(), core.RunConfig{
+				Scenario: spec, System: sys, Seed: 1, Machine: dirMachine(16),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Refs == 0 {
+				t.Fatal("no references simulated")
+			}
+		})
+	}
+}
+
+// TestScenarioSharingSweepDifferential drives the headline study end
+// to end under the oracle: the sharing-degree sweep from private data
+// to machine-wide sharing on the 16-CPU directory machine. Misses must
+// grow monotonically with the sharing degree — the law the scenario
+// engine exists to expose.
+func TestScenarioSharingSweepDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 16-CPU differential runs")
+	}
+	base, err := scenario.Preset("sharing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i, d := range []int{1, 4, 8, 16} {
+		o, err := Differential(context.Background(), core.RunConfig{
+			Scenario: base.WithSharingDegree(d), System: core.Base, Seed: 1,
+			Machine: dirMachine(16),
+		})
+		if err != nil {
+			t.Fatalf("degree %d: %v", d, err)
+		}
+		misses := o.Counters.TotalDReadMisses()
+		if i > 0 && misses <= prev {
+			t.Errorf("degree %d misses %d not above previous %d", d, misses, prev)
+		}
+		prev = misses
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"oscachesim/internal/kernel"
 	"oscachesim/internal/memory"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/stats"
 	"oscachesim/internal/workload"
@@ -76,7 +77,7 @@ func ParseSystem(name string) (System, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown system %q", name)
+	return 0, fmt.Errorf("core: unknown system %q (want one of %v)", name, Systems())
 }
 
 // KernelOpt returns the software-side (kernel build) configuration of
@@ -133,8 +134,15 @@ func (s System) Apply(p *sim.Params) {
 
 // RunConfig describes one simulation run.
 type RunConfig struct {
-	// Workload names the traced workload.
+	// Workload names the traced workload. When Scenario is set the
+	// field is display-only: Run overwrites it with the scenario's
+	// "scenario:<name>" label.
 	Workload workload.Name
+	// Scenario, when non-nil, replaces the named workload with a
+	// declarative user-defined one (see internal/scenario). The spec
+	// is validated at Run time; its content hash joins CanonicalKey,
+	// so equal specs deduplicate in every result cache.
+	Scenario *scenario.Spec
 	// System selects the machine/kernel configuration.
 	System System
 	// Scale is the number of generated scheduling rounds (0 = the
@@ -300,6 +308,12 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Workload = workload.SpecWorkloadName(cfg.Scenario)
+	}
 	if cfg.Stream && cfg.Monitor == nil {
 		return runStreaming(ctx, cfg)
 	}
@@ -311,7 +325,16 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		return nil, err
 	}
 	buildStart := time.Now()
-	built := workload.BuildN(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, p.NumCPUs)
+	var built *workload.Built
+	if cfg.Scenario != nil {
+		var err error
+		built, err = workload.BuildSpec(cfg.Scenario, kernelOpt(cfg), cfg.Scale, cfg.Seed, p.NumCPUs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		built = workload.BuildN(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, p.NumCPUs)
+	}
 	stages := StageTimings{Build: time.Since(buildStart)}
 	if cfg.Progress != nil {
 		cfg.Progress.SetTotalRefs(uint64(built.TotalRefs()))
@@ -362,7 +385,16 @@ func runStreaming(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		sopt.OnProgress = cfg.Progress.GenSample
 		sopt.OnStalls = cfg.Progress.GenStallSample
 	}
-	st := workload.Stream(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, sopt)
+	var st *workload.Streamed
+	if cfg.Scenario != nil {
+		var err error
+		st, err = workload.StreamSpec(cfg.Scenario, kernelOpt(cfg), cfg.Scale, cfg.Seed, sopt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st = workload.Stream(cfg.Workload, kernelOpt(cfg), cfg.Scale, cfg.Seed, sopt)
+	}
 
 	s, err := sim.New(p, st.Sources())
 	if err != nil {

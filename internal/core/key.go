@@ -43,9 +43,20 @@ func (cfg RunConfig) CanonicalKey() string {
 	if seed == 0 {
 		seed = 1
 	}
+	wname := string(cfg.Workload)
+	if cfg.Scenario != nil {
+		// A scenario run is keyed by the spec's content hash (appended
+		// below), not the Workload label: Run overwrites the label, so
+		// hashing it would make pre- and post-normalization configs of
+		// the same run disagree.
+		wname = "!scenario"
+	}
 	fmt.Fprintf(h, "v=%s|w=%s|sys=%d|scale=%d|seed=%d|dc=%t|pu=%t|pd=%d|tc=%t",
-		SimVersion, cfg.Workload, cfg.System, cfg.Scale, seed,
+		SimVersion, wname, cfg.System, cfg.Scale, seed,
 		cfg.DeferredCopy, cfg.PureUpdate, cfg.PrefDist, cfg.TrackConflicts)
+	if cfg.Scenario != nil {
+		fmt.Fprintf(h, "|scen=%s", cfg.Scenario.Hash())
+	}
 	if cfg.UpdateSet == nil {
 		// nil means "the system's own protocol selection"; an empty
 		// non-nil set overrides it to "update nothing" — distinct runs.

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/scenario"
+)
+
+func scenarioCfg(t *testing.T, name string, sys core.System) core.RunConfig {
+	t.Helper()
+	spec, err := scenario.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.RunConfig{Scenario: spec, System: sys, Seed: 1}
+}
+
+// TestScenarioDeterminism pins the scenario engine's execution-strategy
+// independence: for every preset, the serial materialized run, the
+// parallel scheduler and the streaming pipeline must produce identical
+// counters. Runs under -race in CI alongside the other determinism
+// tiers.
+func TestScenarioDeterminism(t *testing.T) {
+	ctx := context.Background()
+	serial := NewRunner(Config{Seed: 1})
+	parallel := NewRunner(Config{Seed: 1, Parallel: true, Workers: 4})
+	streaming := NewRunner(Config{Seed: 1, Parallel: true, Workers: 4, Stream: true})
+	for _, name := range scenario.PresetNames() {
+		want, err := serial.OutcomeConfig(ctx, scenarioCfg(t, name, core.Base))
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		got, err := parallel.OutcomeConfig(ctx, scenarioCfg(t, name, core.Base))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if got.Counters != want.Counters {
+			t.Errorf("%s: parallel counters differ from serial", name)
+		}
+		st, err := streaming.OutcomeConfig(ctx, scenarioCfg(t, name, core.Base))
+		if err != nil {
+			t.Fatalf("%s streaming: %v", name, err)
+		}
+		if st.Counters != want.Counters {
+			t.Errorf("%s: streamed counters differ from serial", name)
+		}
+		if got.Refs != want.Refs || st.Refs != want.Refs {
+			t.Errorf("%s: ref totals differ across strategies", name)
+		}
+	}
+}
+
+// TestScenarioCacheDedup proves the scenario hash carries the run's
+// cache identity end to end: two separately constructed equal specs
+// deduplicate onto one simulation, and a derived sharing-degree spec
+// does not.
+func TestScenarioCacheDedup(t *testing.T) {
+	ctx := context.Background()
+	r := NewRunner(Config{Seed: 1})
+	a, err := r.OutcomeConfig(ctx, scenarioCfg(t, "sharing", core.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	b, err := r.OutcomeConfig(ctx, scenarioCfg(t, "sharing", core.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.Executions != before.Executions {
+		t.Fatalf("identical scenario re-executed: %d -> %d executions",
+			before.Executions, after.Executions)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("no cache hit recorded: %+v -> %+v", before, after)
+	}
+	if a != b {
+		t.Fatal("cache hit returned a different outcome pointer")
+	}
+	// A different sharing degree is a different run.
+	spec, _ := scenario.Preset("sharing")
+	derived := core.RunConfig{Scenario: spec.WithSharingDegree(2), System: core.Base, Seed: 1}
+	if _, err := r.OutcomeConfig(ctx, derived); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Executions != after.Executions+1 {
+		t.Fatal("derived sharing-degree spec was wrongly deduplicated")
+	}
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioSpec drives the spec decoder with arbitrary bytes. The
+// contract: Parse never panics; anything it accepts re-validates,
+// hashes stably, survives a marshal/re-parse round trip with an
+// unchanged hash, and yields a valid sharing-degree derivation — so a
+// fuzz-crafted spec can never reach the workload generator in an
+// unvalidated state.
+func FuzzScenarioSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"name":"t","phases":[{"rounds":1}]}`,
+		`{"name":"t","base":"Shell","phases":[{"rounds":2,"user_refs":100,"os_intensity":0.5}]}`,
+		`{"name":"t","phases":[{"rounds":1,"sharing_degree":4,"shared_frac":0.3,"shared_write_frac":0.2,"shared_kb":16}]}`,
+		`{"name":"t","phases":[{"rounds":1,"false_sharing":{"mode":"naive","ops_per_round":64,"vars":4}}]}`,
+		`{"name":"t","phases":[{"rounds":1,"false_sharing":{"mode":"chunked","ops_per_round":64,"chunk_ops":8}}]}`,
+		`{"name":"t","phases":[{"rounds":1,"block_ops_per_round":1.5,"block_sizes":[{"bytes":4096,"weight":0.5},{"bytes":512,"weight":0.5}],"block_read_only_prob":0.25}]}`,
+		`{"name":"t","phases":[{"rounds":1,"barrier_every":2},{"name":"p2","rounds":3,"working_set_kb":64}]}`,
+		`{"name":"t","phases":[{"rounds":0}]}`,
+		`{"name":"a b","phases":[{"rounds":1}]}`,
+		`{"name":"t","base":"nope","phases":[{"rounds":1}]}`,
+		`{"name":"t","phases":[{"rounds":1,"shared_frac":1e308}]}`,
+		`{"name":"t","phases":[{"rounds":1}],"bogus":true}`,
+		`{"name":"t","phases":[{"rounds":1}]} trailing`,
+		`[1,2,3]`,
+		`{"name":"t","phases":[{"rounds":4096}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", verr)
+		}
+		h := s.Hash()
+		if len(h) != 64 {
+			t.Fatalf("hash %q is not a sha256 hex digest", h)
+		}
+		if s.Hash() != h {
+			t.Fatal("hash is not stable across calls")
+		}
+		// The canonical rendering must survive a JSON round trip: the
+		// cache address cannot depend on encoding accidents.
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled spec failed: %v\n%s", err, enc)
+		}
+		if again.Hash() != h {
+			t.Fatalf("hash changed across marshal round trip\n%s", enc)
+		}
+		// Sharing-degree derivation stays in-bounds for any valid spec.
+		d := s.WithSharingDegree(2)
+		for i := range d.Phases {
+			if d.Phases[i].SharingDegree != 2 {
+				t.Fatalf("derived phase %d degree %d", i, d.Phases[i].SharingDegree)
+			}
+		}
+		if d.Hash() == h {
+			t.Fatal("derived spec hashes like its base")
+		}
+		if s.TotalRounds() > MaxRounds {
+			t.Fatalf("accepted %d total rounds past the cap", s.TotalRounds())
+		}
+		if s.EffectiveUserRefs() < 0 {
+			t.Fatalf("negative effective refs %d", s.EffectiveUserRefs())
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// preset couples a builder with its one-line description. Builders
+// return a fresh Spec per call so callers can mutate their copy.
+type preset struct {
+	desc  string
+	build func() *Spec
+}
+
+// fsTrioPhase is the shared shape of the false-sharing trio: the same
+// work on every variant, so their outcomes differ only by counter
+// layout and combine frequency.
+func fsTrioPhase(mode FalseSharingMode) Phase {
+	return Phase{
+		Name:         "contend",
+		Rounds:       12,
+		UserRefs:     2000,
+		WorkingSetKB: 8,
+		FalseSharing: FalseSharing{
+			Mode:        mode,
+			OpsPerRound: 768,
+			Vars:        8,
+			ChunkOps:    64,
+		},
+		BarrierEvery: 1,
+	}
+}
+
+var presets = map[string]preset{
+	"fs-naive": {
+		desc: "false-sharing trio, naive: per-CPU counters packed on shared lines (worst case)",
+		build: func() *Spec {
+			return &Spec{Name: "fs-naive", Phases: []Phase{fsTrioPhase(FSNaive)}}
+		},
+	},
+	"fs-padded": {
+		desc: "false-sharing trio, padded: each CPU's counter on its own line (same work, no sharing)",
+		build: func() *Spec {
+			return &Spec{Name: "fs-padded", Phases: []Phase{fsTrioPhase(FSPadded)}}
+		},
+	},
+	"fs-chunked": {
+		desc: "false-sharing trio, chunked: private accumulation, one shared combine per 64 ops",
+		build: func() *Spec {
+			return &Spec{Name: "fs-chunked", Phases: []Phase{fsTrioPhase(FSChunked)}}
+		},
+	},
+	"sharing": {
+		desc: "sharing-degree study base: groups of CPUs read/write one shared region (sweep the degree)",
+		build: func() *Spec {
+			return &Spec{Name: "sharing", Phases: []Phase{{
+				Name:            "share",
+				Rounds:          12,
+				UserRefs:        4000,
+				WorkingSetKB:    8,
+				SharedKB:        16,
+				SharingDegree:   4,
+				SharedFrac:      0.35,
+				SharedWriteFrac: 0.30,
+				BarrierEvery:    2,
+			}}}
+		},
+	},
+	"os-mix": {
+		desc: "two-phase composite: TRFD_4 kernel services under a compute phase then a contention phase",
+		build: func() *Spec {
+			return &Spec{
+				Name: "os-mix",
+				Base: "TRFD_4",
+				Phases: []Phase{
+					{
+						Name:            "compute",
+						Rounds:          6,
+						UserRefs:        6000,
+						WorkingSetKB:    16,
+						SharedKB:        8,
+						SharingDegree:   2,
+						SharedFrac:      0.20,
+						SharedWriteFrac: 0.25,
+						OSIntensity:     0.5,
+						BarrierEvery:    2,
+					},
+					{
+						Name:         "contend",
+						Rounds:       6,
+						UserRefs:     3000,
+						WorkingSetKB: 8,
+						FalseSharing: FalseSharing{
+							Mode: FSNaive, OpsPerRound: 512, Vars: 4,
+						},
+						BlockOpsPerRound:  1.5,
+						BlockSizes:        []SizeClass{{Bytes: 4096, Weight: 0.5}, {Bytes: 512, Weight: 0.5}},
+						BlockReadOnlyProb: 0.25,
+						OSIntensity:       1.0,
+						BarrierEvery:      1,
+					},
+				},
+			}
+		},
+	},
+}
+
+// PresetNames lists the built-in scenario presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetDescription returns the one-line description of a preset
+// ("" for unknown names).
+func PresetDescription(name string) string { return presets[name].desc }
+
+// Preset returns a fresh copy of a built-in scenario by name; the
+// error of an unknown name lists every valid preset.
+func Preset(name string) (*Spec, error) {
+	p, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown preset %q (want one of %v)", name, PresetNames())
+	}
+	s := p.build()
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: built-in preset %q is invalid: %v", name, err))
+	}
+	return s, nil
+}
+
+// Resolve interprets a -scenario argument: a path to a spec file if
+// one exists there, otherwise a preset name.
+func Resolve(arg string) (*Spec, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return Load(arg)
+	}
+	s, err := Preset(arg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is neither a readable spec file nor a preset (presets: %v)",
+			arg, PresetNames())
+	}
+	return s, nil
+}

@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minimal returns the smallest valid spec, for tests that perturb one
+// field at a time.
+func minimal() *Spec {
+	return &Spec{Name: "t", Phases: []Phase{{Rounds: 1}}}
+}
+
+func TestParseValid(t *testing.T) {
+	doc := `{
+		"name": "full",
+		"base": "TRFD_4",
+		"phases": [{
+			"name": "compute",
+			"rounds": 3,
+			"user_refs": 5000,
+			"working_set_kb": 16,
+			"shared_kb": 32,
+			"sharing_degree": 4,
+			"shared_frac": 0.4,
+			"shared_write_frac": 0.25,
+			"false_sharing": {"mode": "chunked", "ops_per_round": 100, "vars": 4, "chunk_ops": 16},
+			"block_ops_per_round": 1.5,
+			"block_sizes": [{"bytes": 4096, "weight": 0.7}, {"bytes": 512, "weight": 0.3}],
+			"block_read_only_prob": 0.2,
+			"os_intensity": 0.5,
+			"barrier_every": 2
+		}]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "full" || s.Base != "TRFD_4" || len(s.Phases) != 1 {
+		t.Fatalf("decoded spec = %+v", s)
+	}
+	p := s.Phases[0]
+	if p.Rounds != 3 || p.FalseSharing.Mode != FSChunked || len(p.BlockSizes) != 2 {
+		t.Fatalf("decoded phase = %+v", p)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown field", `{"name":"x","phases":[{"rounds":1}],"bogus":1}`, "bogus"},
+		{"unknown phase field", `{"name":"x","phases":[{"rounds":1,"nope":2}]}`, "nope"},
+		{"trailing data", `{"name":"x","phases":[{"rounds":1}]} extra`, "trailing data"},
+		{"no name", `{"phases":[{"rounds":1}]}`, "name is required"},
+		{"name with space", `{"name":"a b","phases":[{"rounds":1}]}`, "whitespace"},
+		{"no phases", `{"name":"x","phases":[]}`, "at least one phase"},
+		{"bad base", `{"name":"x","base":"nope","phases":[{"rounds":1}]}`, "unknown base profile"},
+		{"zero rounds", `{"name":"x","phases":[{"rounds":0}]}`, "phases[0].rounds"},
+		{"bad mode", `{"name":"x","phases":[{"rounds":1,"false_sharing":{"mode":"wat"}}]}`, "false_sharing.mode"},
+		{"frac over", `{"name":"x","phases":[{"rounds":1,"shared_frac":1.5}]}`, "shared_frac"},
+		{"negative refs", `{"name":"x","phases":[{"rounds":1,"user_refs":-1}]}`, "user_refs"},
+		{"zero block size", `{"name":"x","phases":[{"rounds":1,"block_sizes":[{"bytes":0,"weight":1}]}]}`, "block_sizes[0].bytes"},
+		{"bad weight", `{"name":"x","phases":[{"rounds":1,"block_sizes":[{"bytes":64,"weight":-1}]}]}`, "weight"},
+		{"not json", `[`, "bad spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFieldErrorShape pins the validation error contract the API layer
+// depends on: violations are *FieldError values carrying the dotted,
+// indexed field path.
+func TestFieldErrorShape(t *testing.T) {
+	s := minimal()
+	s.Phases = append(s.Phases, Phase{Rounds: -3})
+	err := s.Validate()
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Validate returned %T, want *FieldError", err)
+	}
+	if fe.Field != "phases[1].rounds" {
+		t.Fatalf("field path %q, want phases[1].rounds", fe.Field)
+	}
+	if fe.Value != "-3" {
+		t.Fatalf("field value %q, want -3", fe.Value)
+	}
+}
+
+func TestTotalRoundsCap(t *testing.T) {
+	s := minimal()
+	s.Phases = []Phase{{Rounds: MaxRounds}, {Rounds: 1}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "total rounds") {
+		t.Fatalf("total-rounds cap not enforced: %v", err)
+	}
+}
+
+func TestHash(t *testing.T) {
+	a, _ := Preset("sharing")
+	b, _ := Preset("sharing")
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal specs hash differently")
+	}
+	// Every generation-affecting knob must move the hash.
+	perturb := []func(*Spec){
+		func(s *Spec) { s.Name = "other" },
+		func(s *Spec) { s.Base = "Shell" },
+		func(s *Spec) { s.Phases[0].Rounds++ },
+		func(s *Spec) { s.Phases[0].UserRefs++ },
+		func(s *Spec) { s.Phases[0].WorkingSetKB++ },
+		func(s *Spec) { s.Phases[0].SharedKB++ },
+		func(s *Spec) { s.Phases[0].SharingDegree++ },
+		func(s *Spec) { s.Phases[0].SharedFrac += 0.01 },
+		func(s *Spec) { s.Phases[0].SharedWriteFrac += 0.01 },
+		func(s *Spec) { s.Phases[0].FalseSharing = FalseSharing{Mode: FSNaive, OpsPerRound: 1} },
+		func(s *Spec) { s.Phases[0].BlockOpsPerRound += 0.5 },
+		func(s *Spec) { s.Phases[0].BlockSizes = []SizeClass{{Bytes: 64, Weight: 1}} },
+		func(s *Spec) { s.Phases[0].BlockReadOnlyProb += 0.1 },
+		func(s *Spec) { s.Phases[0].OSIntensity += 0.1 },
+		func(s *Spec) { s.Phases[0].BarrierEvery++ },
+		func(s *Spec) { s.Phases = append(s.Phases, Phase{Rounds: 1}) },
+	}
+	for i, f := range perturb {
+		s, _ := Preset("sharing")
+		f(s)
+		if s.Hash() == a.Hash() {
+			t.Errorf("perturbation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestWithSharingDegree(t *testing.T) {
+	base, _ := Preset("sharing")
+	d := base.WithSharingDegree(8)
+	if d.Name != "sharing@s8" {
+		t.Fatalf("derived name %q", d.Name)
+	}
+	for i := range d.Phases {
+		if d.Phases[i].SharingDegree != 8 {
+			t.Fatalf("phase %d degree %d", i, d.Phases[i].SharingDegree)
+		}
+	}
+	if base.Phases[0].SharingDegree != 4 || base.Name != "sharing" {
+		t.Fatal("WithSharingDegree mutated the original")
+	}
+	if d.Hash() == base.Hash() {
+		t.Fatal("derived spec hashes like its base")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("derived spec invalid: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	for _, want := range []string{"fs-naive", "fs-padded", "fs-chunked", "sharing", "os-mix"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("preset %q missing from %v", want, names)
+		}
+	}
+	for _, n := range names {
+		s, err := Preset(n)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", n, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", n, err)
+		}
+		if PresetDescription(n) == "" {
+			t.Errorf("preset %q has no description", n)
+		}
+		// Presets are fresh copies: mutating one must not leak.
+		s.Phases[0].Rounds = 9999
+		again, _ := Preset(n)
+		if again.Phases[0].Rounds == 9999 {
+			t.Fatalf("preset %q shares state across calls", n)
+		}
+	}
+	if _, err := Preset("nope"); err == nil || !strings.Contains(err.Error(), "fs-naive") {
+		t.Fatalf("unknown-preset error does not list presets: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(`{"name":"from-file","phases":[{"rounds":2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Resolve(path)
+	if err != nil || s.Name != "from-file" {
+		t.Fatalf("Resolve(file) = %v, %v", s, err)
+	}
+	s, err = Resolve("fs-naive")
+	if err != nil || s.Name != "fs-naive" {
+		t.Fatalf("Resolve(preset) = %v, %v", s, err)
+	}
+	if _, err := Resolve("no-such-thing"); err == nil || !strings.Contains(err.Error(), "presets") {
+		t.Fatalf("Resolve error does not list presets: %v", err)
+	}
+}
+
+func TestEffectiveUserRefs(t *testing.T) {
+	s := minimal()
+	if got := s.EffectiveUserRefs(); got != defaultUserRefs {
+		t.Fatalf("default refs = %d, want %d", got, defaultUserRefs)
+	}
+	s.Phases[0].UserRefs = 100
+	s.Phases[0].Rounds = 3
+	s.Phases[0].FalseSharing = FalseSharing{Mode: FSNaive, OpsPerRound: 10}
+	if got := s.EffectiveUserRefs(); got != 3*(100+30) {
+		t.Fatalf("refs = %d, want %d", got, 3*(100+30))
+	}
+}

@@ -33,6 +33,13 @@ func FuzzDecodeRunRequest(f *testing.F) {
 		`[1,2,3]`,
 		`"just a string"`,
 		`{"workload":"TRFD_4","system":"Base","machine":{"l1d_size_kb":18446744073709551615}}`,
+		`{"scenario":{"preset":"fs-naive"},"system":"Base"}`,
+		`{"scenario":{"spec":{"name":"t","phases":[{"rounds":1,"sharing_degree":2,"shared_frac":0.3}]}},"system":"Base"}`,
+		`{"scenario":{"spec":{"name":"t","phases":[{"rounds":0}]}},"system":"Base"}`,
+		`{"scenario":{"preset":"fs-naive","spec":{"name":"t","phases":[{"rounds":1}]}},"system":"Base"}`,
+		`{"workload":"TRFD_4","scenario":{"preset":"fs-naive"},"system":"Base"}`,
+		`{"scenario":{},"system":"Base"}`,
+		`{"scenario":{"spec":{"name":"t","phases":[{"rounds":4096}]}},"system":"Base","scale":1000}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -60,6 +67,19 @@ func FuzzDecodeRunRequest(f *testing.F) {
 		if cfg.Machine != nil {
 			if verr := cfg.Machine.Validate(); verr != nil {
 				t.Fatalf("accepted invalid machine: %v", verr)
+			}
+		}
+		if cfg.Scenario != nil {
+			// An accepted scenario is fully validated and bounded.
+			if verr := cfg.Scenario.Validate(); verr != nil {
+				t.Fatalf("accepted invalid scenario: %v", verr)
+			}
+			eff := cfg.Scale
+			if eff <= 0 {
+				eff = 1
+			}
+			if cfg.Scenario.TotalRounds()*eff > maxScenarioRounds {
+				t.Fatalf("accepted scenario of %d effective rounds", cfg.Scenario.TotalRounds()*eff)
 			}
 		}
 		// The canonical key must be computable for anything accepted —

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"oscachesim/internal/core"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/workload"
 )
@@ -38,6 +39,13 @@ const (
 	maxSweepPoints = 64
 	// maxSweepSystems bounds the systems compared per sweep point.
 	maxSweepSystems = 8
+	// maxScenarioRounds bounds a scenario request's effective rounds
+	// (spec rounds x scale).
+	maxScenarioRounds = 8192
+	// maxScenarioRefs bounds a scenario request's effective per-CPU
+	// references (spec references x scale) — comparable to the largest
+	// classic run maxScale admits.
+	maxScenarioRefs = 1 << 24
 )
 
 // RequestError is a client error: the request could not be decoded or
@@ -79,10 +87,64 @@ type MachineRequest struct {
 	L1WriteBack *bool `json:"l1_writeback,omitempty"`
 }
 
+// ScenarioRequest selects a declarative scenario workload in place of
+// a named one: a built-in preset by name, or a full inline spec
+// document (the scenario JSON schema, strictly decoded). Exactly one
+// of the two must be set.
+type ScenarioRequest struct {
+	// Preset names a built-in scenario (GET /v1/workloads lists them).
+	Preset string `json:"preset,omitempty"`
+	// Spec is an inline scenario spec document.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// resolve validates the selection and bounds the effective simulation
+// length under the request's scale. All failures are *RequestError
+// values; spec field violations keep their scenario.FieldError text,
+// which names the offending field path.
+func (s *ScenarioRequest) resolve(scale int) (*scenario.Spec, error) {
+	var spec *scenario.Spec
+	switch {
+	case s.Preset != "" && len(s.Spec) > 0:
+		return nil, reqErrf("scenario: pass exactly one of preset or spec")
+	case s.Preset != "":
+		sp, err := scenario.Preset(s.Preset)
+		if err != nil {
+			return nil, reqErrf("%v", err)
+		}
+		spec = sp
+	case len(s.Spec) > 0:
+		sp, err := scenario.Parse(s.Spec)
+		if err != nil {
+			return nil, reqErrf("%v", err)
+		}
+		spec = sp
+	default:
+		return nil, reqErrf("scenario: pass one of preset or spec (presets: %v)", scenario.PresetNames())
+	}
+	eff := scale
+	if eff <= 0 {
+		eff = 1
+	}
+	if r := spec.TotalRounds() * eff; r > maxScenarioRounds {
+		return nil, reqErrf("scenario %q at scale %d runs %d rounds, exceeding the maximum %d",
+			spec.Name, eff, r, maxScenarioRounds)
+	}
+	if r := spec.EffectiveUserRefs() * eff; r > maxScenarioRefs {
+		return nil, reqErrf("scenario %q at scale %d generates ~%d references per CPU, exceeding the maximum %d",
+			spec.Name, eff, r, maxScenarioRefs)
+	}
+	return spec, nil
+}
+
 // RunRequest is the body of POST /v1/runs.
 type RunRequest struct {
-	Workload     string          `json:"workload"`
-	System       string          `json:"system"`
+	// Workload names one of the four built-in profiles. Leave it empty
+	// when Scenario is set.
+	Workload string `json:"workload,omitempty"`
+	// Scenario replaces the named workload with a declarative one.
+	Scenario *ScenarioRequest `json:"scenario,omitempty"`
+	System   string           `json:"system"`
 	Scale        int             `json:"scale,omitempty"`
 	Seed         int64           `json:"seed,omitempty"`
 	DeferredCopy bool            `json:"deferred_copy,omitempty"`
@@ -98,21 +160,30 @@ type RunRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// SweepRequest is the body of POST /v1/sweeps: one workload simulated
-// under each system at each grid point. Exactly one of SizesKB and
-// LineSizes must be set.
+// SweepRequest is the body of POST /v1/sweeps: one workload (or
+// scenario) simulated under each system at each grid point. Exactly
+// one of SizesKB, LineSizes and Sharers must be set; Sharers sweeps a
+// scenario's sharing degree and therefore requires Scenario.
 type SweepRequest struct {
-	Workload  string   `json:"workload"`
-	Systems   []string `json:"systems"`
-	SizesKB   []uint64 `json:"sizes_kb,omitempty"`
-	LineSizes []uint64 `json:"line_sizes,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Scenario replaces the named workload with a declarative one.
+	Scenario  *ScenarioRequest `json:"scenario,omitempty"`
+	Systems   []string         `json:"systems"`
+	SizesKB   []uint64         `json:"sizes_kb,omitempty"`
+	LineSizes []uint64         `json:"line_sizes,omitempty"`
+	// Sharers sweeps the scenario's sharing degree: one grid point per
+	// degree, each within [1, the machine's CPU count].
+	Sharers []int `json:"sharers,omitempty"`
 	// L2Line is the L2 line size during a line-size sweep (default 32,
 	// raised to the swept L1 line when smaller).
-	L2Line    uint64 `json:"l2_line,omitempty"`
-	Scale     int    `json:"scale,omitempty"`
-	Seed      int64  `json:"seed,omitempty"`
-	Stream    bool   `json:"stream,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	L2Line uint64 `json:"l2_line,omitempty"`
+	// Machine optionally overrides the base machine at every grid
+	// point (a sharing-degree sweep past 4 CPUs needs a wider machine).
+	Machine   *MachineRequest `json:"machine,omitempty"`
+	Scale     int             `json:"scale,omitempty"`
+	Seed      int64           `json:"seed,omitempty"`
+	Stream    bool            `json:"stream,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
 // decodeJSON strictly decodes one JSON document from r into v:
@@ -148,9 +219,16 @@ func decodeRunRequest(r io.Reader) (core.RunConfig, *RunRequest, error) {
 // toConfig validates the request and builds the run configuration.
 func (rr *RunRequest) toConfig() (core.RunConfig, error) {
 	var cfg core.RunConfig
-	w, err := workload.ParseName(rr.Workload)
-	if err != nil {
-		return cfg, reqErrf("%v", err)
+	if rr.Scenario != nil && rr.Workload != "" {
+		return cfg, reqErrf("pass either workload or scenario, not both")
+	}
+	var w workload.Name
+	if rr.Scenario == nil {
+		var err error
+		w, err = workload.ParseName(rr.Workload)
+		if err != nil {
+			return cfg, reqErrf("%v; or pass a scenario (presets: %v)", err, scenario.PresetNames())
+		}
 	}
 	sys, err := core.ParseSystem(rr.System)
 	if err != nil {
@@ -173,6 +251,14 @@ func (rr *RunRequest) toConfig() (core.RunConfig, error) {
 		DeferredCopy: rr.DeferredCopy,
 		PureUpdate:   rr.PureUpdate,
 		Stream:       rr.Stream,
+	}
+	if rr.Scenario != nil {
+		spec, err := rr.Scenario.resolve(rr.Scale)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Scenario = spec
+		cfg.Workload = workload.SpecWorkloadName(spec)
 	}
 	if rr.Machine != nil {
 		p, err := rr.Machine.toParams()
@@ -313,9 +399,16 @@ func decodeSweepRequest(r io.Reader) ([]sweepPoint, *SweepRequest, error) {
 
 // expand validates the sweep and produces its grid.
 func (sr *SweepRequest) expand() ([]sweepPoint, error) {
-	w, err := workload.ParseName(sr.Workload)
-	if err != nil {
-		return nil, reqErrf("%v", err)
+	if sr.Scenario != nil && sr.Workload != "" {
+		return nil, reqErrf("pass either workload or scenario, not both")
+	}
+	var w workload.Name
+	if sr.Scenario == nil {
+		var err error
+		w, err = workload.ParseName(sr.Workload)
+		if err != nil {
+			return nil, reqErrf("%v; or pass a scenario (presets: %v)", err, scenario.PresetNames())
+		}
 	}
 	if len(sr.Systems) == 0 {
 		return nil, reqErrf("sweep needs at least one system")
@@ -323,8 +416,17 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	if len(sr.Systems) > maxSweepSystems {
 		return nil, reqErrf("sweep of %d systems exceeds the maximum %d", len(sr.Systems), maxSweepSystems)
 	}
-	if (len(sr.SizesKB) == 0) == (len(sr.LineSizes) == 0) {
-		return nil, reqErrf("pass exactly one of sizes_kb or line_sizes")
+	axes := 0
+	for _, n := range []int{len(sr.SizesKB), len(sr.LineSizes), len(sr.Sharers)} {
+		if n > 0 {
+			axes++
+		}
+	}
+	if axes != 1 {
+		return nil, reqErrf("pass exactly one of sizes_kb, line_sizes or sharers")
+	}
+	if len(sr.Sharers) > 0 && sr.Scenario == nil {
+		return nil, reqErrf("sharers sweeps a scenario's sharing degree; pass scenario too")
 	}
 	if sr.Scale < 0 || sr.Scale > maxScale {
 		return nil, reqErrf("scale %d out of range [0, %d]", sr.Scale, maxScale)
@@ -335,6 +437,14 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	if sr.TimeoutMS < 0 {
 		return nil, reqErrf("timeout_ms %d must be non-negative", sr.TimeoutMS)
 	}
+	var spec *scenario.Spec
+	if sr.Scenario != nil {
+		var err error
+		spec, err = sr.Scenario.resolve(sr.Scale)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var systems []core.System
 	for _, name := range sr.Systems {
 		sys, err := core.ParseSystem(name)
@@ -344,27 +454,36 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 		systems = append(systems, sys)
 	}
 
+	base := sim.DefaultParams()
+	if sr.Machine != nil {
+		p, err := sr.Machine.toParams()
+		if err != nil {
+			return nil, err
+		}
+		base = *p
+	}
 	type geo struct {
 		label string
 		p     *sim.Params
+		spec  *scenario.Spec
 	}
 	var grid []geo
 	for _, kb := range sr.SizesKB {
 		if kb == 0 || kb > maxCacheKB {
 			return nil, reqErrf("sizes_kb value %d out of range [1, %d]", kb, maxCacheKB)
 		}
-		p := sim.DefaultParams()
+		p := base
 		p.L1D.Size = kb * 1024
 		if err := p.Validate(); err != nil {
 			return nil, reqErrf("invalid geometry %dKB: %v", kb, err)
 		}
-		grid = append(grid, geo{fmt.Sprintf("%dKB", kb), &p})
+		grid = append(grid, geo{fmt.Sprintf("%dKB", kb), &p, spec})
 	}
 	for _, line := range sr.LineSizes {
 		if line == 0 || line > maxLineBytes {
 			return nil, reqErrf("line_sizes value %d out of range [1, %d]", line, maxLineBytes)
 		}
-		p := sim.DefaultParams()
+		p := base
 		p.L1D.LineSize = line
 		p.L1I.LineSize = line
 		p.L2.LineSize = sr.L2Line
@@ -377,7 +496,15 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 		if err := p.Validate(); err != nil {
 			return nil, reqErrf("invalid geometry %dB lines: %v", line, err)
 		}
-		grid = append(grid, geo{fmt.Sprintf("%dB", line), &p})
+		grid = append(grid, geo{fmt.Sprintf("%dB", line), &p, spec})
+	}
+	for _, d := range sr.Sharers {
+		if d < 1 || d > base.NumCPUs {
+			return nil, reqErrf("sharers value %d outside [1, %d] (override machine.num_cpus to widen)",
+				d, base.NumCPUs)
+		}
+		p := base
+		grid = append(grid, geo{fmt.Sprintf("d=%d", d), &p, spec.WithSharingDegree(d)})
 	}
 	if len(grid)*len(systems) > maxSweepPoints {
 		return nil, reqErrf("sweep of %d points exceeds the maximum %d", len(grid)*len(systems), maxSweepPoints)
@@ -387,14 +514,17 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	for _, g := range grid {
 		for _, sys := range systems {
 			machine := *g.p
-			points = append(points, sweepPoint{
-				Label:  g.label,
-				System: sys,
-				Cfg: core.RunConfig{
-					Workload: w, System: sys, Scale: sr.Scale, Seed: sr.Seed,
-					Machine: &machine, Stream: sr.Stream,
-				},
-			})
+			cfg := core.RunConfig{
+				System: sys, Scale: sr.Scale, Seed: sr.Seed,
+				Machine: &machine, Stream: sr.Stream,
+			}
+			if g.spec != nil {
+				cfg.Scenario = g.spec
+				cfg.Workload = workload.SpecWorkloadName(g.spec)
+			} else {
+				cfg.Workload = w
+			}
+			points = append(points, sweepPoint{Label: g.label, System: sys, Cfg: cfg})
 		}
 	}
 	return points, nil

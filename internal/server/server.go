@@ -18,6 +18,8 @@
 //	POST /v1/sweeps            submit a geometry/system grid    -> JobView
 //	GET  /v1/runs/{id}         job status, progress and result  -> JobView
 //	GET  /v1/runs/{id}/stream  NDJSON progress frames, then the final view
+//	GET  /v1/workloads         selectable workloads and scenario presets,
+//	                           each with a one-line description
 //	GET  /v1/metrics           JSON counters by default; the Prometheus
 //	                           text exposition under ?format=prometheus
 //	                           or a text/plain Accept header
@@ -50,6 +52,8 @@ import (
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
+	"oscachesim/internal/scenario"
+	"oscachesim/internal/workload"
 )
 
 // Options configures a Server.
@@ -163,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/sweeps", "/v1/sweeps", s.handleSweep)
 	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleJob)
 	handle("GET /v1/runs/{id}/stream", "/v1/runs/{id}/stream", s.handleStream)
+	handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
 	handle("GET /v1/metrics", "/v1/metrics", s.metrics.handler)
 	handle("GET /healthz", "/healthz", s.handleHealthz)
 
@@ -472,6 +477,36 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.view(false))
+}
+
+// WorkloadInfo describes one selectable workload: a calibrated
+// built-in profile, or a scenario preset usable as {"scenario":
+// {"preset": name}}.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"` // "profile" or "scenario_preset"
+	Description string `json:"description"`
+}
+
+// WorkloadList is the body of GET /v1/workloads.
+type WorkloadList struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+}
+
+// handleWorkloads lists the selectable workloads and scenario presets.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var list WorkloadList
+	for _, n := range workload.Names() {
+		list.Workloads = append(list.Workloads, WorkloadInfo{
+			Name: string(n), Kind: "profile", Description: workload.Description(n),
+		})
+	}
+	for _, n := range scenario.PresetNames() {
+		list.Workloads = append(list.Workloads, WorkloadInfo{
+			Name: n, Kind: "scenario_preset", Description: scenario.PresetDescription(n),
+		})
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 // handleHealthz reports liveness.

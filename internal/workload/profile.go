@@ -48,6 +48,23 @@ func ParseName(s string) (Name, error) {
 	return "", fmt.Errorf("workload: unknown name %q (want one of %v)", s, Names())
 }
 
+// Description returns a one-line summary of a built-in workload, for
+// the -list-workloads / GET /v1/workloads listings.
+func Description(n Name) string {
+	switch n {
+	case TRFD4:
+		return "four gang-scheduled TRFD runs: barriers, page faults, cross-CPU interrupts dominate"
+	case TRFDMake:
+		return "one TRFD plus four C-compiler phases: parallel/serial regime changes, heavy paging"
+	case ARC2DFsck:
+		return "four ARC2D runs plus a file-system check: wide I/O variety, buffer-cache traffic"
+	case Shell:
+		return "21 background UNIX commands: process churn, VM management, I/O and network syscalls"
+	default:
+		return ""
+	}
+}
+
 // sizeClass is one entry of a block-size mixture.
 type sizeClass struct {
 	bytes  uint64

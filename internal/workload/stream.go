@@ -78,30 +78,47 @@ func Stream(name Name, opt kernel.OptConfig, scale int, seed int64, sopt StreamO
 	if ncpus < 1 || ncpus > MaxCPUs {
 		panic(fmt.Sprintf("workload: Stream with %d CPUs (want 1..%d)", ncpus, MaxCPUs))
 	}
-	chunk := sopt.ChunkRefs
-	if chunk <= 0 {
-		chunk = DefaultChunkRefs
-	}
+	st := newStreamed(name, kernel.New(opt), ncpus, sopt)
+	chunk := chunkSize(sopt)
+	go st.pump(chunk, sopt, func() (*generator, int, func(int)) {
+		g := newGenerator(ProfileFor(st.Name), st.Kernel, seed, st.n)
+		return g, scale, g.round
+	})
+	return st
+}
+
+// newStreamed assembles the pipeline state shared by Stream and
+// StreamSpec.
+func newStreamed(name Name, k *kernel.Kernel, ncpus int, sopt StreamOptions) *Streamed {
 	budget := sopt.BudgetRefs
 	if budget <= 0 {
-		budget = 4 * chunk
+		budget = 4 * chunkSize(sopt)
 	}
-	st := &Streamed{
+	return &Streamed{
 		Name:    name,
-		Kernel:  kernel.New(opt),
+		Kernel:  k,
 		n:       ncpus,
 		pipe:    trace.NewChunkPipeline(ncpus, budget),
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
-	go st.produce(scale, seed, chunk, sopt)
-	return st
 }
 
-// produce runs the generator round loop, flushing chunks into the
-// pipeline. It always closes the pipeline and the done channel, even
-// on panic, so consumers never hang on a dead producer.
-func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions) {
+// chunkSize resolves the flush granularity.
+func chunkSize(sopt StreamOptions) int {
+	if sopt.ChunkRefs > 0 {
+		return sopt.ChunkRefs
+	}
+	return DefaultChunkRefs
+}
+
+// pump runs a generator round loop on the producer goroutine,
+// flushing chunks into the pipeline. mk builds the generator and
+// returns the round count and per-round function — the classic
+// profile loop and the scenario loop differ only there. pump always
+// closes the pipeline and the done channel, even on panic, so
+// consumers never hang on a dead producer.
+func (st *Streamed) pump(chunk int, sopt StreamOptions, mk func() (*generator, int, func(int))) {
 	defer close(st.done)
 	defer func() { st.elapsed = time.Since(st.started) }()
 	defer st.pipe.Close()
@@ -111,7 +128,7 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 		}
 	}()
 
-	g := newGenerator(ProfileFor(st.Name), st.Kernel, seed, st.n)
+	g, rounds, roundFn := mk()
 	aborted := false
 	for c := 0; c < st.n; c++ {
 		cpu := c
@@ -136,8 +153,8 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 	}
 
 	var projected uint64
-	for round := 0; round < scale; round++ {
-		g.round(round)
+	for round := 0; round < rounds; round++ {
+		roundFn(round)
 		// Flush every emitter at the round boundary so a consumer never
 		// starves on references that are generated but still buffered.
 		for c := 0; c < st.n; c++ {
@@ -149,7 +166,7 @@ func (st *Streamed) produce(scale int, seed int64, chunk int, sopt StreamOptions
 		if round == 0 {
 			// Rounds are statistically alike; the first one projects
 			// the total for progress reporting.
-			projected = st.pipe.Sent() * uint64(scale)
+			projected = st.pipe.Sent() * uint64(rounds)
 		}
 		if sopt.OnProgress != nil {
 			sopt.OnProgress(st.pipe.Sent(), projected)

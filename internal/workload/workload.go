@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"oscachesim/internal/kernel"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/trace"
 )
 
@@ -177,6 +178,13 @@ type generator struct {
 	proc []int
 	// nextProc hands out fresh process ids for forks.
 	nextProc int
+
+	// Scenario-driven builds (BuildSpec/StreamSpec) set the scenario
+	// engine and, when the spec names a base profile, the per-phase
+	// intensity-scaled profiles; classic builds leave them nil.
+	scen          *scenario.Generator
+	scenSpec      *scenario.Spec
+	phaseProfiles []Profile
 }
 
 // procsPerCPU is the size of each processor's resident process pool.

@@ -28,6 +28,7 @@ import (
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
+	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/workload"
 )
@@ -82,6 +83,28 @@ func Workloads() []Workload { return workload.Names() }
 
 // ParseWorkload converts a workload name to its identifier.
 func ParseWorkload(name string) (Workload, error) { return workload.ParseName(name) }
+
+// Scenario is a declarative user-defined workload: multi-phase
+// synthetic traffic with tunable sharing degree, working-set size,
+// false-sharing intensity and block-operation mix, optionally
+// composed with a built-in profile's kernel services. Build one from
+// JSON with LoadScenario/ParseScenario, or start from a preset.
+type Scenario = scenario.Spec
+
+// LoadScenario reads and strictly validates a scenario spec file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario strictly decodes and validates a JSON scenario spec.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ScenarioPreset returns a fresh copy of a built-in scenario — the
+// false-sharing trio ("fs-naive", "fs-padded", "fs-chunked"), the
+// sharing-degree study base ("sharing"), and the two-phase OS
+// composite ("os-mix").
+func ScenarioPreset(name string) (*Scenario, error) { return scenario.Preset(name) }
+
+// ScenarioPresets lists the built-in scenario preset names.
+func ScenarioPresets() []string { return scenario.PresetNames() }
 
 // Outcome is the measurement record of one simulation run.
 type Outcome = core.Outcome
@@ -155,6 +178,18 @@ func WithMachine(m MachineParams) Option {
 // once (0 = GOMAXPROCS). A single [Sim.Run] is unaffected: one
 // simulation is cycle-ordered and inherently serial.
 func WithParallelism(p int) Option { return func(s *Sim) { s.workers = p } }
+
+// WithScenario replaces the Sim's named workload with a declarative
+// user-defined one; the workload passed to New is ignored. The spec's
+// content hash joins the canonical run key, so equal specs share
+// cached results.
+//
+//	spec, _ := oscachesim.ScenarioPreset("sharing")
+//	s := oscachesim.New("", oscachesim.Base, oscachesim.WithScenario(spec.WithSharingDegree(8)),
+//	    oscachesim.WithMachine(oscachesim.DirectoryMachine(16)))
+func WithScenario(spec *Scenario) Option {
+	return func(s *Sim) { s.cfg.Scenario = spec }
+}
 
 // WithStreaming generates the workload concurrently with the
 // simulation in bounded chunks, so peak trace memory stays
