@@ -298,3 +298,29 @@ func BenchmarkAblationAssociativity(b *testing.B) { benchAblation(b, "associativ
 // BenchmarkConflictAnalysis regenerates the Section 6 conflict-pair
 // census.
 func BenchmarkConflictAnalysis(b *testing.B) { benchAblation(b, "conflict-pairs") }
+
+// BenchmarkCampaignExpand measures the campaign planner: expanding a
+// 96-cell grid (2 workloads × 3 CPU counts × 2 coherence protocols ×
+// 8 systems) into validated cells and grouping the duplicates by
+// canonical key. No simulation runs — this is the cost a POST
+// /v1/campaigns pays before queuing.
+func BenchmarkCampaignExpand(b *testing.B) {
+	g := CampaignGrid{
+		Workloads: []Workload{TRFD4, ARC2DFsck},
+		Systems:   Systems(),
+		CPUs:      []int{4, 8, 16},
+		Coherence: []CoherenceKind{CoherenceSnoop, CoherenceDirectory},
+		Scale:     benchScale,
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := NewCampaignPlan(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Cells) != 96 {
+			b.Fatalf("%d cells", len(p.Cells))
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Command campaign runs batch experiment grids: the cross product of
+// a workload axis, machine-geometry axes (processor count, coherence
+// protocol, cache and line sizes), an optional scenario sharing-degree
+// axis, and the system axis — submitted as one declarative plan. Cells
+// that expand to the same canonical configuration are simulated once
+// and credited everywhere, and the result renders as the paper's
+// normalized stacked-time comparison plus an optional machine-readable
+// axis diff (e.g. snoop vs directory at each CPU count).
+//
+// The same grids are served over HTTP by ossimd's POST /v1/campaigns;
+// this command is the offline equivalent, sharing the planner and the
+// work-stealing memoizing runner.
+//
+// Usage:
+//
+//	campaign -workloads TRFD_4 -systems Base,BCPref -cpus 4,16 \
+//	         -coherence snoop,directory -diff coherence:snoop:directory
+//	campaign -scenario sharing -sharers 1,2,4,8 -cpus 8 -row sharers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"oscachesim/internal/campaign"
+	"oscachesim/internal/core"
+	"oscachesim/internal/experiment"
+	"oscachesim/internal/report"
+	"oscachesim/internal/scenario"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+func main() {
+	var (
+		wnames   = flag.String("workloads", "TRFD_4", "comma-separated workload axis")
+		scnArg   = flag.String("scenario", "", "declarative scenario: a spec file path or a preset name (replaces -workloads)")
+		sysList  = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated system axis")
+		cpus     = flag.String("cpus", "", "comma-separated processor-count axis")
+		cohList  = flag.String("coherence", "", "comma-separated coherence axis (snoop, directory)")
+		sizes    = flag.String("sizes", "", "comma-separated L1D-size axis in KB")
+		lines    = flag.String("linesizes", "", "comma-separated L1D line-size axis in bytes")
+		l2line   = flag.Uint64("l2line", 0, "L2 line size in bytes during a line-size axis (0 = base machine's)")
+		sharers  = flag.String("sharers", "", "comma-separated sharing-degree axis (requires -scenario)")
+		row      = flag.String("row", campaign.AxisSystem, "report row axis (one bar per value)")
+		diffArg  = flag.String("diff", "", "machine-readable axis diff as axis:from:to (e.g. coherence:snoop:directory)")
+		scale    = flag.Int("scale", 0, "scheduling rounds (0 = default)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		maxCells = flag.Int("maxcells", 0, "grid-size bound (0 = the default 256)")
+		parallel = flag.Bool("parallel", true, "fan unique cells across workers")
+		workers  = flag.Int("workers", 0, "worker count when parallel (0 = GOMAXPROCS)")
+		stream   = flag.Bool("stream", false, "generate each workload concurrently with its simulation")
+		verbose  = flag.Bool("v", false, "print per-cell coordinates and raw metrics")
+	)
+	flag.Parse()
+
+	g := campaign.Grid{
+		L2Line: *l2line, Scale: *scale, Seed: *seed, Stream: *stream, MaxCells: *maxCells,
+	}
+	if *scnArg != "" {
+		spec, err := scenario.Resolve(*scnArg)
+		if err != nil {
+			fatal(err)
+		}
+		g.Scenario = spec
+	} else {
+		for _, tok := range splitList(*wnames) {
+			w, err := workload.ParseName(tok)
+			if err != nil {
+				fatal(err)
+			}
+			g.Workloads = append(g.Workloads, w)
+		}
+	}
+	for _, tok := range splitList(*sysList) {
+		sys, err := core.ParseSystem(tok)
+		if err != nil {
+			fatal(err)
+		}
+		g.Systems = append(g.Systems, sys)
+	}
+	var err error
+	if g.CPUs, err = parseInts(*cpus); err != nil {
+		fatal(err)
+	}
+	if g.Sharers, err = parseInts(*sharers); err != nil {
+		fatal(err)
+	}
+	if g.L1SizesKB, err = parseUints(*sizes); err != nil {
+		fatal(err)
+	}
+	if g.LineSizes, err = parseUints(*lines); err != nil {
+		fatal(err)
+	}
+	for _, tok := range splitList(*cohList) {
+		kind, err := sim.ParseCoherence(tok)
+		if err != nil {
+			fatal(err)
+		}
+		g.Coherence = append(g.Coherence, kind)
+	}
+
+	plan, err := campaign.NewPlan(g)
+	if err != nil {
+		fatal(err)
+	}
+	if !contains(plan.Axes, *row) {
+		fatal(fmt.Errorf("-row %s is not a declared axis (axes: %v)", *row, plan.Axes))
+	}
+	var diff *diffSpec
+	if *diffArg != "" {
+		if diff, err = parseDiff(plan, *diffArg); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := experiment.NewRunnerContext(ctx, experiment.Config{
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers, Stream: *stream,
+	})
+
+	fmt.Fprintf(os.Stderr, "campaign: %d cells (%d unique) across axes %v\n",
+		len(plan.Cells), len(plan.Unique), plan.Axes)
+	prog := &campaign.Progress{}
+	progDone := make(chan struct{})
+	go narrate(prog, progDone)
+	cells, err := campaign.Run(ctx, r, plan, prog)
+	close(progDone)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted after %d of %d cells: %w",
+				len(cells), len(plan.Cells), err))
+		}
+		fatal(err)
+	}
+
+	grid := campaign.GridCells(cells)
+	title := fmt.Sprintf("campaign: OS time by %s (normalized per group)", *row)
+	fmt.Print(campaign.Chart(title, *row, grid))
+	if diff != nil {
+		fmt.Printf("\ndiff %s: %s -> %s\n", diff.axis, diff.from, diff.to)
+		for _, dr := range report.DiffCells(grid, diff.axis, diff.from, diff.to, campaign.DiffMetrics) {
+			fmt.Printf("  %-40s %-16s %14.6g -> %-14.6g %+8.2f%%\n",
+				coordText(dr.Coords), dr.Metric, dr.From, dr.To, dr.DeltaPct)
+		}
+	}
+	if *verbose {
+		fmt.Println()
+		for _, gc := range grid {
+			fmt.Printf("  %-50s os_cycles=%.0f d1_miss_rate=%.4f bus_bytes=%.0f\n",
+				coordText(gc.Coords), gc.Values["os_cycles"], gc.Values["d1_miss_rate"], gc.Values["bus_bytes"])
+		}
+	}
+	st := r.Stats()
+	fmt.Printf("-- %d simulations for %d cells (%d deduplicated), %d cache hits\n",
+		st.Executions, len(cells), len(cells)-len(plan.Unique), st.Hits+st.Joins)
+}
+
+// narrate prints aggregate progress to stderr once a second until the
+// run finishes.
+func narrate(prog *campaign.Progress, done <-chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			s := prog.Snapshot()
+			line := fmt.Sprintf("campaign: %d/%d cells (%d/%d unique)",
+				s.CellsDone, s.CellsTotal, s.UniqueDone, s.UniqueTotal)
+			if s.ETA > 0 {
+				line += fmt.Sprintf(", eta %s", s.ETA.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+}
+
+// diffSpec is the parsed -diff selection.
+type diffSpec struct{ axis, from, to string }
+
+func parseDiff(p *campaign.Plan, arg string) (*diffSpec, error) {
+	parts := strings.SplitN(arg, ":", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-diff wants axis:from:to, got %q", arg)
+	}
+	d := &diffSpec{axis: parts[0], from: parts[1], to: parts[2]}
+	if !contains(p.Axes, d.axis) {
+		return nil, fmt.Errorf("-diff axis %s is not a declared axis (axes: %v)", d.axis, p.Axes)
+	}
+	vals := p.AxisValues(d.axis)
+	for _, v := range []string{d.from, d.to} {
+		if !contains(vals, v) {
+			return nil, fmt.Errorf("-diff value %s is not on axis %s (values: %v)", v, d.axis, vals)
+		}
+	}
+	return d, nil
+}
+
+// coordText renders coordinates as axis-sorted "axis=value" pairs.
+func coordText(coords map[string]string) string {
+	axes := make([]string, 0, len(coords))
+	for a := range coords {
+		axes = append(axes, a)
+	}
+	sort.Strings(axes)
+	parts := make([]string, len(axes))
+	for i, a := range axes {
+		parts[i] = a + "=" + coords[a]
+	}
+	return strings.Join(parts, " ")
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range splitList(s) {
+		n, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, tok := range splitList(s) {
+		n, err := strconv.ParseUint(tok, 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

@@ -107,6 +107,17 @@ func (r *Runner) workers() int {
 // The first error cancels the remaining work and is returned; partial
 // outcomes are discarded.
 func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *sim.Progress) ([]*core.Outcome, error) {
+	return r.RunConfigsEach(ctx, cfgs, prog, nil)
+}
+
+// RunConfigsEach is RunConfigs with a per-completion hook: each, when
+// non-nil, is called once per configuration as soon as its outcome is
+// available, with the input index and the outcome. Under a parallel
+// config the hook fires on worker goroutines, possibly concurrently —
+// the caller synchronizes. Callers that need partial results on
+// cancellation (a campaign reporting the cells that finished) collect
+// them here; the returned slice is still all-or-nothing.
+func (r *Runner) RunConfigsEach(ctx context.Context, cfgs []core.RunConfig, prog *sim.Progress, each func(idx int, o *core.Outcome)) ([]*core.Outcome, error) {
 	outs := make([]*core.Outcome, len(cfgs))
 	n := r.workers()
 	if n > len(cfgs) {
@@ -124,6 +135,9 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 			}
 			outs[i] = o
 			publishOutcome(prog, o)
+			if each != nil {
+				each(i, o)
+			}
 		}
 		r.recordSched([]WorkerStats{{Busy: busy, Idle: time.Since(start) - busy, Runs: len(cfgs)}})
 		return outs, nil
@@ -184,6 +198,9 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []core.RunConfig, prog *si
 				}
 				outs[idx] = o
 				publishOutcome(prog, o)
+				if each != nil {
+					each(idx, o)
+				}
 			}
 		}(w)
 	}

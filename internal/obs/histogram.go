@@ -52,6 +52,18 @@ func DurationBuckets() []float64 {
 	}
 }
 
+// WideDurationBuckets returns bucket bounds for long-running spans, in
+// seconds: 1ms to 600s, roughly 2.5x apart. Campaigns fan whole grids
+// across the worker pool, so their wall clock lives well above the
+// per-request latency range DurationBuckets covers.
+func WideDurationBuckets() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5,
+		10, 30, 60, 150, 300, 600,
+	}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

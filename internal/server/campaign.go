@@ -1,0 +1,472 @@
+package server
+
+// This file is the /v1/campaigns resource: a declarative parameter
+// grid (internal/campaign) submitted as one job, executed over the
+// shared memoizing runner with duplicate cells planned once, streamed
+// as aggregate progress, and rendered as a comparison report — the
+// paper's Figure 3 layout at arbitrary geometry plus a benchdiff-style
+// machine-readable axis diff.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+
+	"oscachesim/internal/campaign"
+	"oscachesim/internal/core"
+	"oscachesim/internal/report"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/workload"
+)
+
+// maxCampaignCells bounds one campaign's expanded grid; a request
+// whose cross product exceeds it is rejected with 400 before any cell
+// is planned.
+const maxCampaignCells = campaign.DefaultMaxCells
+
+// errClientCanceled is the cancel cause of DELETE /v1/campaigns/{id}:
+// it distinguishes a client cancellation (job state "canceled", partial
+// cells kept) from a timeout or simulation failure (state "failed").
+var errClientCanceled = errors.New("canceled by client")
+
+// DiffSpec selects the campaign's machine-readable comparison: each
+// pair of cells agreeing on every axis except Axis is diffed between
+// Axis=From and Axis=To (e.g. coherence, snoop, directory).
+type DiffSpec struct {
+	Axis string `json:"axis"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// CampaignRequest is the body of POST /v1/campaigns: the shared
+// workload selection and job options plus the grid axes. Every listed
+// axis multiplies the cell count (bounded by maxCampaignCells); an
+// omitted axis keeps the base machine's value. Exactly one workload
+// source must be set: workloads (an axis of built-in profiles), the
+// shared workload field, or a scenario.
+type CampaignRequest struct {
+	WorkloadSpec
+	JobOptions
+	// Workloads is the workload axis: several built-in profiles
+	// compared in one campaign.
+	Workloads []string `json:"workloads,omitempty"`
+	// Systems is the optimization axis (at least one required).
+	Systems []string `json:"systems"`
+	// CPUs is the machine-width axis.
+	CPUs []int `json:"cpus,omitempty"`
+	// Coherence is the protocol axis ("snoop", "directory").
+	Coherence []string `json:"coherence,omitempty"`
+	// SizesKB sweeps the primary data cache size.
+	SizesKB []uint64 `json:"sizes_kb,omitempty"`
+	// LineSizes sweeps the L1 line size.
+	LineSizes []uint64 `json:"line_sizes,omitempty"`
+	// L2Line is the L2 line size during a line-size axis.
+	L2Line uint64 `json:"l2_line,omitempty"`
+	// Sharers sweeps the scenario's sharing degree (requires scenario).
+	Sharers []int `json:"sharers,omitempty"`
+	// Machine optionally overrides the base machine at every cell.
+	Machine *MachineSpec `json:"machine,omitempty"`
+	// RowAxis selects the report's bar axis (default "system").
+	RowAxis string `json:"row_axis,omitempty"`
+	// Diff optionally requests the machine-readable axis comparison.
+	Diff *DiffSpec `json:"diff,omitempty"`
+}
+
+// plan validates the request and expands it into a deduplicated
+// execution plan plus the resolved report row axis. All failures
+// satisfy isRequestError and, where attributable, carry a dotted field
+// path.
+func (cr *CampaignRequest) plan() (*campaign.Plan, string, error) {
+	if err := cr.JobOptions.validate(); err != nil {
+		return nil, "", err
+	}
+	g := campaign.Grid{
+		L2Line:   cr.L2Line,
+		Scale:    cr.Scale,
+		Seed:     cr.Seed,
+		Stream:   cr.Stream,
+		MaxCells: maxCampaignCells,
+		CPUs:     cr.CPUs,
+		Sharers:  cr.Sharers,
+	}
+	switch {
+	case len(cr.Workloads) > 0:
+		if cr.Workload != "" || cr.Scenario != nil {
+			return nil, "", fieldErrf("workloads", nil, "pass either workloads or workload/scenario, not both")
+		}
+		for i, name := range cr.Workloads {
+			w, err := workload.ParseName(name)
+			if err != nil {
+				return nil, "", fieldErrf(fmt.Sprintf("workloads[%d]", i), name, "%v", err)
+			}
+			g.Workloads = append(g.Workloads, w)
+		}
+	default:
+		w, spec, err := cr.WorkloadSpec.resolve(cr.Scale)
+		if err != nil {
+			return nil, "", err
+		}
+		if spec != nil {
+			g.Scenario = spec
+		} else {
+			g.Workloads = []workload.Name{w}
+		}
+	}
+	if len(cr.Systems) == 0 {
+		return nil, "", fieldErrf("systems", nil, "campaign needs at least one system")
+	}
+	for i, name := range cr.Systems {
+		sys, err := core.ParseSystem(name)
+		if err != nil {
+			return nil, "", fieldErrf(fmt.Sprintf("systems[%d]", i), name, "%v", err)
+		}
+		g.Systems = append(g.Systems, sys)
+	}
+	for i, name := range cr.Coherence {
+		kind, err := sim.ParseCoherence(name)
+		if err != nil {
+			return nil, "", fieldErrf(fmt.Sprintf("coherence[%d]", i), name, "%v", err)
+		}
+		g.Coherence = append(g.Coherence, kind)
+	}
+	for i, kb := range cr.SizesKB {
+		if kb == 0 || kb > maxCacheKB {
+			return nil, "", fieldErrf(fmt.Sprintf("sizes_kb[%d]", i), kb, "KB out of range [1, %d]", maxCacheKB)
+		}
+	}
+	for i, line := range cr.LineSizes {
+		if line == 0 || line > maxLineBytes {
+			return nil, "", fieldErrf(fmt.Sprintf("line_sizes[%d]", i), line, "out of range [1, %d]", maxLineBytes)
+		}
+	}
+	g.L1SizesKB = cr.SizesKB
+	g.LineSizes = cr.LineSizes
+	if cr.Machine != nil {
+		p, err := cr.Machine.toParams()
+		if err != nil {
+			return nil, "", err
+		}
+		g.Base = p
+	}
+	plan, err := campaign.NewPlan(g)
+	if err != nil {
+		return nil, "", err
+	}
+	row := cr.RowAxis
+	if row == "" {
+		row = campaign.AxisSystem
+	}
+	if !slices.Contains(plan.Axes, row) {
+		return nil, "", fieldErrf("row_axis", row, "not a declared axis (axes: %v)", plan.Axes)
+	}
+	if cr.Diff != nil {
+		if err := validateDiff(plan, cr.Diff, "diff."); err != nil {
+			return nil, "", err
+		}
+	}
+	return plan, row, nil
+}
+
+// validateDiff checks a diff selection against the plan's axes and the
+// values the grid actually takes; prefix names the request fields in
+// errors ("diff.axis" from the body, "diff_axis" from query params).
+func validateDiff(p *campaign.Plan, d *DiffSpec, prefix string) error {
+	if !slices.Contains(p.Axes, d.Axis) {
+		return fieldErrf(prefix+"axis", d.Axis, "not a declared axis (axes: %v)", p.Axes)
+	}
+	vals := p.AxisValues(d.Axis)
+	if !slices.Contains(vals, d.From) {
+		return fieldErrf(prefix+"from", d.From, "not a value of axis %s (values: %v)", d.Axis, vals)
+	}
+	if !slices.Contains(vals, d.To) {
+		return fieldErrf(prefix+"to", d.To, "not a value of axis %s (values: %v)", d.Axis, vals)
+	}
+	return nil
+}
+
+// campaignKey is the campaign's content address: the ordered hash of
+// its cells' canonical keys (each already embedding core.SimVersion)
+// plus the report defaults, which are part of the stored result.
+func campaignKey(p *campaign.Plan, row string, diff *DiffSpec) string {
+	h := sha256.New()
+	for _, c := range p.Cells {
+		io.WriteString(h, c.Key)
+		io.WriteString(h, "\n")
+	}
+	io.WriteString(h, "row="+row+"\n")
+	if diff != nil {
+		fmt.Fprintf(h, "diff=%s:%s:%s\n", diff.Axis, diff.From, diff.To)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CampaignCell is one completed cell of a campaign result.
+type CampaignCell struct {
+	Coords map[string]string `json:"coords"`
+	Key    string            `json:"key"`
+	Result *RunResult        `json:"result"`
+}
+
+// CampaignResult is the JSON result of a campaign job. A canceled
+// campaign keeps the cells that completed before the cancel, so
+// CellsDone may trail CellsTotal.
+type CampaignResult struct {
+	CellsTotal  int            `json:"cells_total"`
+	CellsDone   int            `json:"cells_done"`
+	UniqueCells int            `json:"unique_cells"`
+	Cells       []CampaignCell `json:"cells"`
+}
+
+// campaignResult renders completed cells as the API result plus the
+// grid projection the report endpoint serves.
+func campaignResult(p *campaign.Plan, cells []campaign.CellOutcome) (*CampaignResult, []report.GridCell) {
+	res := &CampaignResult{
+		CellsTotal:  len(p.Cells),
+		CellsDone:   len(cells),
+		UniqueCells: len(p.Unique),
+	}
+	for _, co := range cells {
+		res.Cells = append(res.Cells, CampaignCell{
+			Coords: co.Cell.Coords,
+			Key:    co.Cell.Key,
+			Result: summarize(co.Outcome),
+		})
+	}
+	return res, campaign.GridCells(cells)
+}
+
+// seamRunner adapts the test execute seam to the campaign runner
+// surface: serial, cancellation-aware, per-completion callback.
+type seamRunner struct {
+	exec func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error)
+}
+
+// RunConfigsEach satisfies campaign.ConfigRunner.
+func (r seamRunner) RunConfigsEach(ctx context.Context, cfgs []core.RunConfig, prog *sim.Progress, each func(int, *core.Outcome)) ([]*core.Outcome, error) {
+	outs := make([]*core.Outcome, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		o, err := r.exec(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = o
+		if each != nil {
+			each(i, o)
+		}
+	}
+	return outs, nil
+}
+
+// campaignRunner returns the fan-out surface campaigns execute on: the
+// shared memoizing runner, or (under the test seam) a serial adapter.
+func (s *Server) campaignRunner() campaign.ConfigRunner {
+	if s.opts.execute != nil {
+		return seamRunner{exec: s.opts.execute}
+	}
+	return s.runner
+}
+
+// handleCampaign accepts a parameter grid as one job.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var cr CampaignRequest
+	if err := decodeJSON(r.Body, &cr); err != nil {
+		s.clientError(w, err)
+		return
+	}
+	plan, row, err := cr.plan()
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	job := newJob("", "campaign", "campaign:"+campaignKey(plan, row, cr.Diff), cr.timeout(s.opts.JobTimeout))
+	job.Plan = plan
+	job.Camp = &campaign.Progress{OnStages: s.metrics.observeRunStages}
+	job.RowAxis = row
+	job.Diff = cr.Diff
+	job.Cfg = plan.Unique[0]
+	job.Request = &cr
+	s.respondSubmit(w, job)
+}
+
+// lookupKind finds a job by id and kind.
+func (s *Server) lookupKind(id, kind string) (*Job, bool) {
+	j, ok := s.lookup(id)
+	if !ok || j.Kind != kind {
+		return nil, false
+	}
+	return j, true
+}
+
+// handleKindJob reports one job's status, 404ing ids of other kinds so
+// each resource's collection stays self-consistent.
+func (s *Server) handleKindJob(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.lookupKind(r.PathValue("id"), kind)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found", "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view(false))
+	}
+}
+
+// handleKindStream is handleStream behind a kind check.
+func (s *Server) handleKindStream(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := s.lookupKind(r.PathValue("id"), kind); !ok {
+			writeError(w, http.StatusNotFound, "not_found", "unknown job")
+			return
+		}
+		s.handleStream(w, r)
+	}
+}
+
+// handleCampaignCancel is DELETE /v1/campaigns/{id}: a queued campaign
+// is canceled in place (200), a running one is signaled and winds down
+// with its partial cells kept (202), a terminal one is just reported
+// (200).
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupKind(r.PathValue("id"), "campaign")
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job")
+		return
+	}
+	for {
+		switch st := job.State(); {
+		case st.terminal():
+			writeJSON(w, http.StatusOK, job.view(false))
+			return
+		case st == JobQueued:
+			if !job.cancelQueued("canceled by client") {
+				// Lost the race with a worker: re-read the state.
+				continue
+			}
+			s.mu.Lock()
+			if s.byKey[job.Key] == job {
+				delete(s.byKey, job.Key)
+			}
+			s.mu.Unlock()
+			s.metrics.jobFinished(job)
+			writeJSON(w, http.StatusOK, job.view(false))
+			return
+		default:
+			job.signalCancel()
+			writeJSON(w, http.StatusAccepted, job.view(false))
+			return
+		}
+	}
+}
+
+// CampaignReport is the body of GET /v1/campaigns/{id}/report: the
+// rendered comparison table, the optional machine-readable axis diff,
+// and the raw grid cells for custom tooling.
+type CampaignReport struct {
+	ID          string            `json:"id"`
+	State       JobState          `json:"state"`
+	CellsTotal  int               `json:"cells_total"`
+	CellsDone   int               `json:"cells_done"`
+	UniqueCells int               `json:"unique_cells"`
+	RowAxis     string            `json:"row_axis"`
+	Table       string            `json:"table"`
+	Diff        *DiffView         `json:"diff,omitempty"`
+	Cells       []report.GridCell `json:"cells"`
+}
+
+// DiffView is the machine-readable comparison section of a report.
+type DiffView struct {
+	Axis    string           `json:"axis"`
+	From    string           `json:"from"`
+	To      string           `json:"to"`
+	Metrics []string         `json:"metrics"`
+	Rows    []report.DiffRow `json:"rows"`
+}
+
+// handleCampaignReport renders a finished (or canceled-with-results)
+// campaign. Query params row_axis, diff_axis/diff_from/diff_to and
+// format=text|json override the request's stored defaults per call —
+// re-rendering a done campaign costs no simulation.
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupKind(r.PathValue("id"), "campaign")
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown job")
+		return
+	}
+	res, grid, state := job.campaignSnapshot()
+	if res == nil {
+		writeError(w, http.StatusConflict, "not_ready",
+			"campaign has no results yet (state "+string(state)+")")
+		return
+	}
+	q := r.URL.Query()
+	row := q.Get("row_axis")
+	if row == "" {
+		row = job.RowAxis
+	}
+	if !slices.Contains(job.Plan.Axes, row) {
+		s.clientError(w, fieldErrf("row_axis", row, "not a declared axis (axes: %v)", job.Plan.Axes))
+		return
+	}
+	diff := job.Diff
+	if a := q.Get("diff_axis"); a != "" {
+		diff = &DiffSpec{Axis: a, From: q.Get("diff_from"), To: q.Get("diff_to")}
+	}
+	var dv *DiffView
+	if diff != nil {
+		if err := validateDiff(job.Plan, diff, "diff_"); err != nil {
+			s.clientError(w, err)
+			return
+		}
+		dv = &DiffView{
+			Axis: diff.Axis, From: diff.From, To: diff.To, Metrics: campaign.DiffMetrics,
+			Rows: report.DiffCells(grid, diff.Axis, diff.From, diff.To, campaign.DiffMetrics),
+		}
+	}
+	title := fmt.Sprintf("campaign %s: OS time by %s (normalized per group)", job.ID, row)
+	table := campaign.Chart(title, row, grid)
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, table)
+		if dv != nil {
+			writeDiffText(w, dv)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignReport{
+		ID: job.ID, State: state,
+		CellsTotal: res.CellsTotal, CellsDone: res.CellsDone, UniqueCells: res.UniqueCells,
+		RowAxis: row, Table: table, Diff: dv, Cells: grid,
+	})
+}
+
+// writeDiffText renders the diff section of a format=text report.
+func writeDiffText(w io.Writer, dv *DiffView) {
+	fmt.Fprintf(w, "\ndiff %s: %s -> %s\n", dv.Axis, dv.From, dv.To)
+	for _, row := range dv.Rows {
+		fmt.Fprintf(w, "  %-40s %-16s %14.6g -> %-14.6g %+8.2f%%\n",
+			coordText(row.Coords), row.Metric, row.From, row.To, row.DeltaPct)
+	}
+}
+
+// coordText renders coordinates as axis-sorted "axis=value" pairs.
+func coordText(coords map[string]string) string {
+	axes := make([]string, 0, len(coords))
+	for a := range coords {
+		axes = append(axes, a)
+	}
+	sort.Strings(axes)
+	parts := make([]string, len(axes))
+	for i, a := range axes {
+		parts[i] = a + "=" + coords[a]
+	}
+	return strings.Join(parts, " ")
+}

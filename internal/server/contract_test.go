@@ -1,0 +1,54 @@
+package server
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRoutesMatchContract fails when the mux and the committed API
+// contract (API.md at the repo root) drift apart: every registered
+// route pattern must appear in the document as a `METHOD /path`
+// heading, and every documented route must still be registered.
+func TestRoutesMatchContract(t *testing.T) {
+	data, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("read API.md: %v", err)
+	}
+	doc := string(data)
+
+	s := New(Options{})
+	defer drainServer(t, s)
+
+	registered := map[string]bool{}
+	for _, rt := range s.routes() {
+		registered[rt.pattern] = true
+		if !strings.Contains(doc, "`"+rt.pattern+"`") {
+			t.Errorf("route %q is registered but not documented in API.md", rt.pattern)
+		}
+	}
+
+	// The reverse direction: every `METHOD /path` code span in the
+	// contract names a live route.
+	for _, line := range strings.Split(doc, "\n") {
+		start := strings.Index(line, "`")
+		if start < 0 {
+			continue
+		}
+		end := strings.Index(line[start+1:], "`")
+		if end < 0 {
+			continue
+		}
+		span := line[start+1 : start+1+end]
+		fields := strings.Fields(span)
+		if len(fields) != 2 || !strings.HasPrefix(fields[1], "/") {
+			continue
+		}
+		switch fields[0] {
+		case "GET", "POST", "PUT", "PATCH", "DELETE":
+			if !registered[span] {
+				t.Errorf("API.md documents %q but the server does not register it", span)
+			}
+		}
+	}
+}

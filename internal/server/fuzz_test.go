@@ -91,7 +91,7 @@ func FuzzDecodeRunRequest(f *testing.F) {
 }
 
 // FuzzMachineSpec drives the machine-spec decoder with arbitrary
-// bytes. Its contract: MachineRequest.toParams never panics, every
+// bytes. Its contract: MachineSpec.toParams never panics, every
 // rejection is a *RequestError, and anything accepted satisfies
 // sim.Params.Validate — in particular the processor-count ceiling of
 // the selected coherence protocol, so a fuzz-crafted spec can neither
@@ -120,7 +120,7 @@ func FuzzMachineSpec(f *testing.F) {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var m MachineRequest
+		var m MachineSpec
 		if err := decodeJSON(bytes.NewReader(data), &m); err != nil {
 			if !isRequestError(err) {
 				t.Fatalf("decode error is not a RequestError: %T %v", err, err)

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
+	"oscachesim/internal/campaign"
 	"oscachesim/internal/core"
+	"oscachesim/internal/report"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/stats"
 	"oscachesim/internal/workload"
@@ -26,8 +30,8 @@ const (
 	JobDone JobState = "done"
 	// JobFailed: finished with an error; Error is set.
 	JobFailed JobState = "failed"
-	// JobCanceled: drained from the queue at shutdown before a worker
-	// picked it up.
+	// JobCanceled: drained from the queue at shutdown, or canceled by
+	// the client (DELETE) — possibly mid-grid, keeping partial results.
 	JobCanceled JobState = "canceled"
 )
 
@@ -36,18 +40,25 @@ func (s JobState) terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
-// Job is one unit of queued simulation work: a single run or a whole
-// sweep grid. A job is created by an accepted POST, executed by exactly
-// one worker, and observed concurrently by status and stream handlers.
+// Job is one unit of queued simulation work: a single run, a whole
+// sweep grid, or a campaign. A job is created by an accepted POST,
+// executed by exactly one worker, and observed concurrently by status
+// and stream handlers.
 type Job struct {
 	// Immutable after creation.
 	ID      string
-	Kind    string // "run" or "sweep"
+	Kind    string // "run", "sweep" or "campaign"
 	Key     string // canonical content address (deduplication key)
 	Timeout time.Duration
 	Request any          // the decoded request body, echoed in status
 	Cfg     core.RunConfig
 	Points  []sweepPoint // sweep grid (Kind == "sweep")
+
+	// Campaign plan and report defaults (Kind == "campaign").
+	Plan    *campaign.Plan
+	Camp    *campaign.Progress
+	RowAxis string
+	Diff    *DiffSpec
 
 	// Progress feeds are written by the simulation and read locklessly
 	// by the stream handler.
@@ -64,8 +75,14 @@ type Job struct {
 	err        string
 	result     *RunResult
 	sweep      *SweepResult
+	camp       *CampaignResult
+	grid       []report.GridCell
 	stages     *StageView
 	pointsDone int
+	// cancelFn aborts a running campaign's context; cancelAsked records
+	// a DELETE that raced ahead of the worker arming it.
+	cancelFn    context.CancelCauseFunc
+	cancelAsked bool
 }
 
 // newJob builds a queued job.
@@ -92,15 +109,25 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// setRunning marks the job running and returns its queue wait — the
-// time between acceptance and a worker picking it up.
-func (j *Job) setRunning() time.Duration {
+// Started reports whether a worker ever picked the job up.
+func (j *Job) Started() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.started.IsZero()
+}
+
+// setRunning marks the job running and returns its queue wait — the
+// time between acceptance and a worker picking it up. It reports false
+// when the job was canceled while queued (the worker must skip it).
+func (j *Job) setRunning() (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return 0, false
+	}
 	j.state = JobRunning
 	j.started = time.Now()
-	wait := j.started.Sub(j.created)
-	j.mu.Unlock()
-	return wait
+	return j.started.Sub(j.created), true
 }
 
 // finishRun completes a run job.
@@ -135,14 +162,80 @@ func (j *Job) finishSweep(res *SweepResult, stages *StageView, err error) {
 	close(j.done)
 }
 
-// cancel marks a queued job canceled (shutdown drain).
-func (j *Job) cancel(reason string) {
+// finishCampaign completes a campaign job. A client cancellation
+// (errClientCanceled) lands in state "canceled" keeping the partial
+// result; any other error fails the job.
+func (j *Job) finishCampaign(res *CampaignResult, grid []report.GridCell, stages *StageView, err error) {
 	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.camp = res
+		j.grid = grid
+		j.stages = stages
+	case errors.Is(err, errClientCanceled):
+		j.state = JobCanceled
+		j.err = errClientCanceled.Error()
+		j.camp = res
+		j.grid = grid
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// campaignSnapshot returns a campaign job's result and grid (nil until
+// terminal with results) and its state.
+func (j *Job) campaignSnapshot() (*CampaignResult, []report.GridCell, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.camp, j.grid, j.state
+}
+
+// cancelQueued atomically cancels the job if no worker has picked it
+// up yet; it reports whether the transition happened. Used both by the
+// shutdown drain and by client cancellation of queued jobs.
+func (j *Job) cancelQueued(reason string) bool {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return false
+	}
 	j.finished = time.Now()
 	j.state = JobCanceled
 	j.err = reason
 	j.mu.Unlock()
 	close(j.done)
+	return true
+}
+
+// armCancel installs the running campaign's cancel function. A DELETE
+// that arrived before the worker armed it fires immediately.
+func (j *Job) armCancel(fn context.CancelCauseFunc) {
+	j.mu.Lock()
+	j.cancelFn = fn
+	pending := j.cancelAsked
+	j.mu.Unlock()
+	if pending {
+		fn(errClientCanceled)
+	}
+}
+
+// signalCancel asks a running campaign to stop (or records the ask for
+// armCancel if the worker has not armed cancellation yet).
+func (j *Job) signalCancel() {
+	j.mu.Lock()
+	fn := j.cancelFn
+	if fn == nil {
+		j.cancelAsked = true
+	}
+	j.mu.Unlock()
+	if fn != nil {
+		fn(errClientCanceled)
+	}
 }
 
 // pointFinished advances the sweep progress counter.
@@ -248,6 +341,14 @@ type ProgressView struct {
 	Cycles       uint64  `json:"cycles"`
 	PointsDone   int     `json:"points_done,omitempty"`
 	PointsTotal  int     `json:"points_total,omitempty"`
+	// Campaign aggregate (Kind == "campaign"): grid cells credited and
+	// unique configurations executed, plus an ETA extrapolated from the
+	// unique-work completion rate.
+	CellsDone   int     `json:"cells_done,omitempty"`
+	CellsTotal  int     `json:"cells_total,omitempty"`
+	UniqueDone  int     `json:"unique_done,omitempty"`
+	UniqueTotal int     `json:"unique_total,omitempty"`
+	ETASeconds  float64 `json:"eta_seconds,omitempty"`
 }
 
 // JobView is the JSON rendering of a job returned by the status,
@@ -265,6 +366,7 @@ type JobView struct {
 	Progress   *ProgressView `json:"progress,omitempty"`
 	Result     *RunResult    `json:"result,omitempty"`
 	Sweep      *SweepResult  `json:"sweep,omitempty"`
+	Campaign   *CampaignResult `json:"campaign,omitempty"`
 	// Stages is the completed job's wall-clock decomposition; for a
 	// deduplicated job it reports the execution that actually ran.
 	Stages *StageView `json:"stages,omitempty"`
@@ -297,6 +399,7 @@ func (j *Job) view(deduped bool) *JobView {
 		Request:   j.Request,
 		Result:    j.result,
 		Sweep:     j.sweep,
+		Campaign:  j.camp,
 		Stages:    j.stages,
 		Error:     j.err,
 	}
@@ -334,6 +437,28 @@ func (j *Job) view(deduped bool) *JobView {
 			}
 		}
 	}
+	if j.Kind == "campaign" && j.Plan != nil {
+		cs := j.Camp.Snapshot()
+		pv.CellsDone = cs.CellsDone
+		pv.CellsTotal = cs.CellsTotal
+		pv.UniqueDone = cs.UniqueDone
+		pv.UniqueTotal = cs.UniqueTotal
+		if pv.CellsTotal == 0 {
+			// Not started yet: the plan still knows the totals.
+			pv.CellsTotal = len(j.Plan.Cells)
+			pv.UniqueTotal = len(j.Plan.Unique)
+		}
+		pv.Fraction = 0
+		if pv.CellsTotal > 0 {
+			pv.Fraction = float64(pv.CellsDone) / float64(pv.CellsTotal)
+		}
+		if j.state == JobDone {
+			pv.Fraction = 1
+		}
+		if cs.ETA > 0 {
+			pv.ETASeconds = cs.ETA.Seconds()
+		}
+	}
 	v.Progress = pv
 	return v
 }
@@ -349,6 +474,12 @@ func (j *Job) simSeconds() float64 {
 		var s float64
 		for _, p := range j.sweep.Points {
 			s += p.Result.SimSeconds
+		}
+		return s
+	case j.camp != nil:
+		var s float64
+		for _, c := range j.camp.Cells {
+			s += c.Result.SimSeconds
 		}
 		return s
 	}

@@ -46,7 +46,11 @@ type metrics struct {
 
 	queued, done, failed, canceled *obs.Counter
 	deduped, rejected              *obs.Counter
+	campaignCells                  *obs.Counter
+	campaignCellsDeduped           *obs.Counter
 	running                        expvar.Int
+
+	campaignDur *obs.Histogram
 
 	mu         sync.Mutex
 	simSeconds expvar.Float
@@ -64,6 +68,10 @@ func newMetrics(s *Server) *metrics {
 	mt.canceled = mt.reg.Counter("ossimd_jobs_canceled_total", "jobs canceled by drain")
 	mt.deduped = mt.reg.Counter("ossimd_jobs_deduped_total", "POSTs answered by an existing job")
 	mt.rejected = mt.reg.Counter("ossimd_jobs_rejected_total", "POSTs answered 429")
+	mt.campaignCells = mt.reg.Counter("ossimd_campaign_cells_total",
+		"grid cells served by completed campaigns")
+	mt.campaignCellsDeduped = mt.reg.Counter("ossimd_campaign_cells_deduped_total",
+		"campaign cells credited from another cell's simulation")
 
 	mt.reg.GaugeFunc("ossimd_queue_depth", "current FIFO occupancy",
 		func() float64 { return float64(len(s.queue)) })
@@ -84,6 +92,9 @@ func newMetrics(s *Server) *metrics {
 
 	mt.queueWait = mt.reg.Histogram("ossimd_queue_wait_seconds",
 		"time a job spent queued before a worker picked it up", obs.DurationBuckets())
+	mt.campaignDur = mt.reg.Histogram("ossimd_campaign_seconds",
+		"campaign wall clock, submission of the grid to the last cell",
+		obs.WideDurationBuckets())
 	mt.stage = make(map[string]*obs.Histogram, 4)
 	for _, stage := range []string{"build", "stream", "simulate", "render"} {
 		mt.stage[stage] = mt.reg.Histogram("ossimd_run_stage_seconds",
@@ -100,6 +111,8 @@ func newMetrics(s *Server) *metrics {
 	mt.m.Set("jobs_canceled", expvar.Func(func() any { return mt.canceled.Value() }))
 	mt.m.Set("jobs_deduped", expvar.Func(func() any { return mt.deduped.Value() }))
 	mt.m.Set("jobs_rejected", expvar.Func(func() any { return mt.rejected.Value() }))
+	mt.m.Set("campaign_cells_total", expvar.Func(func() any { return mt.campaignCells.Value() }))
+	mt.m.Set("campaign_cells_deduped_total", expvar.Func(func() any { return mt.campaignCellsDeduped.Value() }))
 	mt.m.Set("cache_hits", expvar.Func(func() any { return mt.cacheHits() }))
 	mt.m.Set("cache_misses", expvar.Func(func() any { return s.runner.Stats().Executions }))
 	mt.m.Set("cache_hit_ratio", expvar.Func(func() any { return mt.hitRatio() }))
@@ -165,6 +178,15 @@ func (mt *metrics) httpHist(endpoint string) *obs.Histogram {
 		"HTTP handler latency, by endpoint", obs.DurationBuckets(), obs.L("endpoint", endpoint))
 }
 
+// campaignFinished records one completed campaign: every grid cell it
+// served, how many of them were credited from a duplicate cell's
+// simulation, and the grid's wall clock.
+func (mt *metrics) campaignFinished(cells, unique int, elapsed time.Duration) {
+	mt.campaignCells.Add(uint64(cells))
+	mt.campaignCellsDeduped.Add(uint64(cells - unique))
+	mt.campaignDur.ObserveDuration(elapsed)
+}
+
 func (mt *metrics) jobFinished(j *Job) {
 	switch j.State() {
 	case JobDone:
@@ -177,7 +199,11 @@ func (mt *metrics) jobFinished(j *Job) {
 		mt.running.Add(-1)
 		mt.failed.Inc()
 	case JobCanceled:
-		// Canceled jobs never started.
+		// Drain-canceled jobs never started; a client-canceled campaign
+		// did, and its worker slot is free again.
+		if j.Started() {
+			mt.running.Add(-1)
+		}
 		mt.canceled.Inc()
 	}
 }

@@ -15,10 +15,12 @@ import (
 
 // This file is the daemon's external input surface: the JSON request
 // bodies of POST /v1/runs and POST /v1/sweeps, their decoding, and the
-// validation that turns them into core.RunConfig values. Everything
-// here must hold up under arbitrary bytes — the fuzz target
-// FuzzDecodeRunRequest drives decodeRunRequest with adversarial input
-// and requires a clean *RequestError (never a panic, never an
+// validation that turns them into core.RunConfig values. The fragments
+// every request shares — machine geometry, workload selection, job
+// options, the FieldError shape — live in spec.go; this file composes
+// them. Everything here must hold up under arbitrary bytes — the fuzz
+// target FuzzDecodeRunRequest drives decodeRunRequest with adversarial
+// input and requires a clean client error (never a panic, never an
 // unvalidated configuration).
 
 // Request size and parameter bounds. They exist to keep one request
@@ -58,35 +60,6 @@ func reqErrf(format string, args ...any) error {
 	return &RequestError{msg: fmt.Sprintf(format, args...)}
 }
 
-// MachineRequest optionally overrides the paper's machine geometry.
-// All fields are pointers so "absent" and "zero" are distinguishable;
-// absent fields keep the default machine's values.
-type MachineRequest struct {
-	NumCPUs    *int    `json:"num_cpus,omitempty"`
-	L1DSizeKB  *uint64 `json:"l1d_size_kb,omitempty"`
-	L1DLine    *uint64 `json:"l1d_line,omitempty"`
-	L1DAssoc   *int    `json:"l1d_assoc,omitempty"`
-	L1ISizeKB  *uint64 `json:"l1i_size_kb,omitempty"`
-	L1ILine    *uint64 `json:"l1i_line,omitempty"`
-	L2SizeKB   *uint64 `json:"l2_size_kb,omitempty"`
-	L2Line     *uint64 `json:"l2_line,omitempty"`
-	L2Assoc    *int    `json:"l2_assoc,omitempty"`
-	MSHR       *int    `json:"mshr,omitempty"`
-	L1WBDepth  *int    `json:"l1_wb_depth,omitempty"`
-	L2WBDepth  *int    `json:"l2_wb_depth,omitempty"`
-	MemCycles  *uint64 `json:"mem_cycles,omitempty"`
-	DMAPer8B   *uint64 `json:"dma_cycles_per_8b,omitempty"`
-	// Coherence selects the protocol family: "snoop" (aliases "mesi",
-	// "bus") or "directory" (alias "dir"). Directory machines scale
-	// past the snooping bus's 64-CPU ceiling and ignore the Firefly
-	// update attribute.
-	Coherence *string `json:"coherence,omitempty"`
-	// L1WriteBack makes the primary data cache write-back: stores to
-	// lines the local L2 owns complete without entering the
-	// write-through buffers.
-	L1WriteBack *bool `json:"l1_writeback,omitempty"`
-}
-
 // ScenarioRequest selects a declarative scenario workload in place of
 // a named one: a built-in preset by name, or a full inline spec
 // document (the scenario JSON schema, strictly decoded). Exactly one
@@ -99,9 +72,10 @@ type ScenarioRequest struct {
 }
 
 // resolve validates the selection and bounds the effective simulation
-// length under the request's scale. All failures are *RequestError
-// values; spec field violations keep their scenario.FieldError text,
-// which names the offending field path.
+// length under the request's scale. Spec field violations become
+// *FieldError values under the "scenario.spec." path, keeping the
+// offending field path in the message; everything else is a
+// *RequestError.
 func (s *ScenarioRequest) resolve(scale int) (*scenario.Spec, error) {
 	var spec *scenario.Spec
 	switch {
@@ -116,6 +90,10 @@ func (s *ScenarioRequest) resolve(scale int) (*scenario.Spec, error) {
 	case len(s.Spec) > 0:
 		sp, err := scenario.Parse(s.Spec)
 		if err != nil {
+			var fe *scenario.FieldError
+			if errors.As(err, &fe) {
+				return nil, &FieldError{Field: "scenario.spec." + fe.Field, Value: fe.Value, Reason: fe.Reason}
+			}
 			return nil, reqErrf("%v", err)
 		}
 		spec = sp
@@ -137,27 +115,15 @@ func (s *ScenarioRequest) resolve(scale int) (*scenario.Spec, error) {
 	return spec, nil
 }
 
-// RunRequest is the body of POST /v1/runs.
+// RunRequest is the body of POST /v1/runs: the shared workload
+// selection and job options plus one system and its run attributes.
 type RunRequest struct {
-	// Workload names one of the four built-in profiles. Leave it empty
-	// when Scenario is set.
-	Workload string `json:"workload,omitempty"`
-	// Scenario replaces the named workload with a declarative one.
-	Scenario *ScenarioRequest `json:"scenario,omitempty"`
-	System   string           `json:"system"`
-	Scale        int             `json:"scale,omitempty"`
-	Seed         int64           `json:"seed,omitempty"`
-	DeferredCopy bool            `json:"deferred_copy,omitempty"`
-	PureUpdate   bool            `json:"pure_update,omitempty"`
-	// Stream generates the workload concurrently with the simulation in
-	// bounded chunks. Results are byte-identical to a materialized run
-	// (the canonical key ignores this flag), so it only trades the
-	// job's peak memory and wall clock.
-	Stream  bool            `json:"stream,omitempty"`
-	Machine *MachineRequest `json:"machine,omitempty"`
-	// TimeoutMS optionally tightens the server's per-job deadline; it
-	// can never extend it.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	WorkloadSpec
+	JobOptions
+	System       string       `json:"system"`
+	DeferredCopy bool         `json:"deferred_copy,omitempty"`
+	PureUpdate   bool         `json:"pure_update,omitempty"`
+	Machine      *MachineSpec `json:"machine,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps: one workload (or
@@ -165,12 +131,11 @@ type RunRequest struct {
 // one of SizesKB, LineSizes and Sharers must be set; Sharers sweeps a
 // scenario's sharing degree and therefore requires Scenario.
 type SweepRequest struct {
-	Workload string `json:"workload,omitempty"`
-	// Scenario replaces the named workload with a declarative one.
-	Scenario  *ScenarioRequest `json:"scenario,omitempty"`
-	Systems   []string         `json:"systems"`
-	SizesKB   []uint64         `json:"sizes_kb,omitempty"`
-	LineSizes []uint64         `json:"line_sizes,omitempty"`
+	WorkloadSpec
+	JobOptions
+	Systems   []string `json:"systems"`
+	SizesKB   []uint64 `json:"sizes_kb,omitempty"`
+	LineSizes []uint64 `json:"line_sizes,omitempty"`
 	// Sharers sweeps the scenario's sharing degree: one grid point per
 	// degree, each within [1, the machine's CPU count].
 	Sharers []int `json:"sharers,omitempty"`
@@ -179,11 +144,7 @@ type SweepRequest struct {
 	L2Line uint64 `json:"l2_line,omitempty"`
 	// Machine optionally overrides the base machine at every grid
 	// point (a sharing-degree sweep past 4 CPUs needs a wider machine).
-	Machine   *MachineRequest `json:"machine,omitempty"`
-	Scale     int             `json:"scale,omitempty"`
-	Seed      int64           `json:"seed,omitempty"`
-	Stream    bool            `json:"stream,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Machine *MachineSpec `json:"machine,omitempty"`
 }
 
 // decodeJSON strictly decodes one JSON document from r into v:
@@ -202,8 +163,8 @@ func decodeJSON(r io.Reader, v any) error {
 
 // decodeRunRequest decodes and fully validates a /v1/runs body,
 // returning the simulation configuration it describes. The returned
-// config always passes sim.Params.Validate. All failures are
-// *RequestError values.
+// config always passes sim.Params.Validate. All failures satisfy
+// isRequestError.
 func decodeRunRequest(r io.Reader) (core.RunConfig, *RunRequest, error) {
 	var rr RunRequest
 	if err := decodeJSON(r, &rr); err != nil {
@@ -219,46 +180,26 @@ func decodeRunRequest(r io.Reader) (core.RunConfig, *RunRequest, error) {
 // toConfig validates the request and builds the run configuration.
 func (rr *RunRequest) toConfig() (core.RunConfig, error) {
 	var cfg core.RunConfig
-	if rr.Scenario != nil && rr.Workload != "" {
-		return cfg, reqErrf("pass either workload or scenario, not both")
+	if err := rr.JobOptions.validate(); err != nil {
+		return cfg, err
 	}
-	var w workload.Name
-	if rr.Scenario == nil {
-		var err error
-		w, err = workload.ParseName(rr.Workload)
-		if err != nil {
-			return cfg, reqErrf("%v; or pass a scenario (presets: %v)", err, scenario.PresetNames())
-		}
+	w, spec, err := rr.WorkloadSpec.resolve(rr.Scale)
+	if err != nil {
+		return cfg, err
 	}
 	sys, err := core.ParseSystem(rr.System)
 	if err != nil {
 		return cfg, reqErrf("%v", err)
 	}
-	if rr.Scale < 0 || rr.Scale > maxScale {
-		return cfg, reqErrf("scale %d out of range [0, %d]", rr.Scale, maxScale)
-	}
-	if rr.Seed < 0 {
-		return cfg, reqErrf("seed %d must be non-negative", rr.Seed)
-	}
-	if rr.TimeoutMS < 0 {
-		return cfg, reqErrf("timeout_ms %d must be non-negative", rr.TimeoutMS)
-	}
 	cfg = core.RunConfig{
 		Workload:     w,
+		Scenario:     spec,
 		System:       sys,
 		Scale:        rr.Scale,
 		Seed:         rr.Seed,
 		DeferredCopy: rr.DeferredCopy,
 		PureUpdate:   rr.PureUpdate,
 		Stream:       rr.Stream,
-	}
-	if rr.Scenario != nil {
-		spec, err := rr.Scenario.resolve(rr.Scale)
-		if err != nil {
-			return cfg, err
-		}
-		cfg.Scenario = spec
-		cfg.Workload = workload.SpecWorkloadName(spec)
 	}
 	if rr.Machine != nil {
 		p, err := rr.Machine.toParams()
@@ -270,12 +211,6 @@ func (rr *RunRequest) toConfig() (core.RunConfig, error) {
 	return cfg, nil
 }
 
-// timeout returns the request's effective deadline under the server
-// maximum.
-func (rr *RunRequest) timeout(serverMax time.Duration) time.Duration {
-	return clampTimeout(rr.TimeoutMS, serverMax)
-}
-
 func clampTimeout(ms int64, serverMax time.Duration) time.Duration {
 	if ms <= 0 {
 		return serverMax
@@ -285,95 +220,6 @@ func clampTimeout(ms int64, serverMax time.Duration) time.Duration {
 		return serverMax
 	}
 	return d
-}
-
-// toParams applies the overrides to the default machine and validates
-// the result.
-func (m *MachineRequest) toParams() (*sim.Params, error) {
-	p := sim.DefaultParams()
-	setSize := func(dst *uint64, kb *uint64, what string) error {
-		if kb == nil {
-			return nil
-		}
-		if *kb == 0 || *kb > maxCacheKB {
-			return reqErrf("%s %d KB out of range [1, %d]", what, *kb, maxCacheKB)
-		}
-		*dst = *kb * 1024
-		return nil
-	}
-	setLine := func(dst *uint64, line *uint64, what string) error {
-		if line == nil {
-			return nil
-		}
-		if *line == 0 || *line > maxLineBytes {
-			return reqErrf("%s %d out of range [1, %d]", what, *line, maxLineBytes)
-		}
-		*dst = *line
-		return nil
-	}
-	setAssoc := func(dst *int, a *int, what string) error {
-		if a == nil {
-			return nil
-		}
-		if *a <= 0 || *a > maxAssoc {
-			return reqErrf("%s %d out of range [1, %d]", what, *a, maxAssoc)
-		}
-		*dst = *a
-		return nil
-	}
-	steps := []error{
-		setSize(&p.L1D.Size, m.L1DSizeKB, "l1d_size_kb"),
-		setLine(&p.L1D.LineSize, m.L1DLine, "l1d_line"),
-		setAssoc(&p.L1D.Assoc, m.L1DAssoc, "l1d_assoc"),
-		setSize(&p.L1I.Size, m.L1ISizeKB, "l1i_size_kb"),
-		setLine(&p.L1I.LineSize, m.L1ILine, "l1i_line"),
-		setSize(&p.L2.Size, m.L2SizeKB, "l2_size_kb"),
-		setLine(&p.L2.LineSize, m.L2Line, "l2_line"),
-		setAssoc(&p.L2.Assoc, m.L2Assoc, "l2_assoc"),
-	}
-	for _, err := range steps {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if m.NumCPUs != nil {
-		p.NumCPUs = *m.NumCPUs
-	}
-	if m.Coherence != nil {
-		kind, err := sim.ParseCoherence(*m.Coherence)
-		if err != nil {
-			return nil, reqErrf("coherence: %v", err)
-		}
-		p.Coherence = kind
-	}
-	if m.L1WriteBack != nil {
-		p.L1WriteBack = *m.L1WriteBack
-	}
-	if m.MSHR != nil {
-		p.MSHREntries = *m.MSHR
-	}
-	if m.L1WBDepth != nil {
-		p.L1WriteBufDepth = *m.L1WBDepth
-	}
-	if m.L2WBDepth != nil {
-		p.L2WriteBufDepth = *m.L2WBDepth
-	}
-	if m.MemCycles != nil {
-		if *m.MemCycles == 0 || *m.MemCycles > 1<<20 {
-			return nil, reqErrf("mem_cycles %d out of range", *m.MemCycles)
-		}
-		p.MemCycles = *m.MemCycles
-	}
-	if m.DMAPer8B != nil {
-		if *m.DMAPer8B == 0 || *m.DMAPer8B > 1<<20 {
-			return nil, reqErrf("dma_cycles_per_8b %d out of range", *m.DMAPer8B)
-		}
-		p.DMACyclesPer8B = *m.DMAPer8B
-	}
-	if err := p.Validate(); err != nil {
-		return nil, reqErrf("invalid machine: %v", err)
-	}
-	return &p, nil
 }
 
 // sweepPoint is one (geometry, system) cell of a sweep grid.
@@ -399,16 +245,12 @@ func decodeSweepRequest(r io.Reader) ([]sweepPoint, *SweepRequest, error) {
 
 // expand validates the sweep and produces its grid.
 func (sr *SweepRequest) expand() ([]sweepPoint, error) {
-	if sr.Scenario != nil && sr.Workload != "" {
-		return nil, reqErrf("pass either workload or scenario, not both")
+	if err := sr.JobOptions.validate(); err != nil {
+		return nil, err
 	}
-	var w workload.Name
-	if sr.Scenario == nil {
-		var err error
-		w, err = workload.ParseName(sr.Workload)
-		if err != nil {
-			return nil, reqErrf("%v; or pass a scenario (presets: %v)", err, scenario.PresetNames())
-		}
+	w, spec, err := sr.WorkloadSpec.resolve(sr.Scale)
+	if err != nil {
+		return nil, err
 	}
 	if len(sr.Systems) == 0 {
 		return nil, reqErrf("sweep needs at least one system")
@@ -425,25 +267,8 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	if axes != 1 {
 		return nil, reqErrf("pass exactly one of sizes_kb, line_sizes or sharers")
 	}
-	if len(sr.Sharers) > 0 && sr.Scenario == nil {
+	if len(sr.Sharers) > 0 && spec == nil {
 		return nil, reqErrf("sharers sweeps a scenario's sharing degree; pass scenario too")
-	}
-	if sr.Scale < 0 || sr.Scale > maxScale {
-		return nil, reqErrf("scale %d out of range [0, %d]", sr.Scale, maxScale)
-	}
-	if sr.Seed < 0 {
-		return nil, reqErrf("seed %d must be non-negative", sr.Seed)
-	}
-	if sr.TimeoutMS < 0 {
-		return nil, reqErrf("timeout_ms %d must be non-negative", sr.TimeoutMS)
-	}
-	var spec *scenario.Spec
-	if sr.Scenario != nil {
-		var err error
-		spec, err = sr.Scenario.resolve(sr.Scale)
-		if err != nil {
-			return nil, err
-		}
 	}
 	var systems []core.System
 	for _, name := range sr.Systems {
@@ -528,10 +353,4 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 		}
 	}
 	return points, nil
-}
-
-// isRequestError reports whether err is a client error.
-func isRequestError(err error) bool {
-	var re *RequestError
-	return errors.As(err, &re)
 }

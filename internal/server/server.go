@@ -12,18 +12,27 @@
 // computation and memoizes outcomes. N concurrent identical requests
 // therefore cost exactly one simulation.
 //
-// Endpoints (v1 resource surface):
+// Endpoints (v1 resource surface; API.md is the committed contract):
 //
-//	POST /v1/runs              submit one simulation            -> JobView
-//	POST /v1/sweeps            submit a geometry/system grid    -> JobView
-//	GET  /v1/runs/{id}         job status, progress and result  -> JobView
-//	GET  /v1/runs/{id}/stream  NDJSON progress frames, then the final view
-//	GET  /v1/workloads         selectable workloads and scenario presets,
-//	                           each with a one-line description
-//	GET  /v1/metrics           JSON counters by default; the Prometheus
-//	                           text exposition under ?format=prometheus
-//	                           or a text/plain Accept header
-//	GET  /healthz              liveness and drain state
+//	POST   /v1/runs                   submit one simulation       -> JobView
+//	POST   /v1/sweeps                 submit a one-axis grid      -> JobView
+//	POST   /v1/campaigns              submit a parameter grid     -> JobView
+//	GET    /v1/runs                   list jobs (?state=, ?cursor=, ?limit=)
+//	GET    /v1/sweeps                 list sweep jobs
+//	GET    /v1/campaigns              list campaign jobs
+//	GET    /v1/runs/{id}              job status, progress and result
+//	GET    /v1/sweeps/{id}            sweep status (kind-checked)
+//	GET    /v1/campaigns/{id}         campaign status (kind-checked)
+//	GET    /v1/runs/{id}/stream       NDJSON progress, then the final view
+//	GET    /v1/sweeps/{id}/stream     same, kind-checked
+//	GET    /v1/campaigns/{id}/stream  same; aggregate cell progress + ETA
+//	GET    /v1/campaigns/{id}/report  comparison table + axis diff
+//	DELETE /v1/campaigns/{id}         cancel (mid-grid keeps partial cells)
+//	GET    /v1/workloads              selectable workloads and presets
+//	GET    /v1/metrics                JSON counters by default; Prometheus
+//	                                  text under ?format=prometheus or a
+//	                                  text/plain Accept header
+//	GET    /healthz                   liveness and drain state
 //
 // The pre-resource paths (POST /v1/run, POST /v1/sweep,
 // GET /v1/jobs/{id}[/stream], GET /metrics) were redirected with 308
@@ -50,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"oscachesim/internal/campaign"
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
 	"oscachesim/internal/scenario"
@@ -118,6 +128,7 @@ type Server struct {
 	seq      int
 	jobs     map[string]*Job // id -> job
 	byKey    map[string]*Job // canonical key -> job (dedup layer)
+	order    []*Job          // submission order (collection listings)
 }
 
 // New builds a Server and starts its worker pool.
@@ -136,6 +147,39 @@ func New(opts Options) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// route is one entry of the v1 routing table: the Go 1.22 mux pattern,
+// the bounded endpoint label its latency histogram carries, and the
+// handler. The table is data so the contract test can assert every
+// pattern is documented in API.md.
+type route struct {
+	pattern  string
+	endpoint string
+	h        http.HandlerFunc
+}
+
+// routes returns the daemon's full v1 routing table.
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/runs", "/v1/runs", s.handleRun},
+		{"POST /v1/sweeps", "/v1/sweeps", s.handleSweep},
+		{"POST /v1/campaigns", "/v1/campaigns", s.handleCampaign},
+		{"GET /v1/runs", "/v1/runs", s.handleList("run")},
+		{"GET /v1/sweeps", "/v1/sweeps", s.handleList("sweep")},
+		{"GET /v1/campaigns", "/v1/campaigns", s.handleList("campaign")},
+		{"GET /v1/runs/{id}", "/v1/runs/{id}", s.handleJob},
+		{"GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleKindJob("sweep")},
+		{"GET /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleKindJob("campaign")},
+		{"GET /v1/runs/{id}/stream", "/v1/runs/{id}/stream", s.handleStream},
+		{"GET /v1/sweeps/{id}/stream", "/v1/sweeps/{id}/stream", s.handleKindStream("sweep")},
+		{"GET /v1/campaigns/{id}/stream", "/v1/campaigns/{id}/stream", s.handleKindStream("campaign")},
+		{"GET /v1/campaigns/{id}/report", "/v1/campaigns/{id}/report", s.handleCampaignReport},
+		{"DELETE /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleCampaignCancel},
+		{"GET /v1/workloads", "/v1/workloads", s.handleWorkloads},
+		{"GET /v1/metrics", "/v1/metrics", s.metrics.handler},
+		{"GET /healthz", "/healthz", s.handleHealthz},
+	}
 }
 
 // Handler returns the daemon's HTTP handler: the v1 resource routes,
@@ -163,13 +207,9 @@ func (s *Server) Handler() http.Handler {
 			}
 		})
 	}
-	handle("POST /v1/runs", "/v1/runs", s.handleRun)
-	handle("POST /v1/sweeps", "/v1/sweeps", s.handleSweep)
-	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleJob)
-	handle("GET /v1/runs/{id}/stream", "/v1/runs/{id}/stream", s.handleStream)
-	handle("GET /v1/workloads", "/v1/workloads", s.handleWorkloads)
-	handle("GET /v1/metrics", "/v1/metrics", s.metrics.handler)
-	handle("GET /healthz", "/healthz", s.handleHealthz)
+	for _, rt := range s.routes() {
+		handle(rt.pattern, rt.endpoint, rt.h)
+	}
 
 	// Removed legacy surface (the 308 deprecation window has closed):
 	// explicit 404s whose message names the successor, instead of the
@@ -259,7 +299,11 @@ func (s *Server) isDraining() bool {
 
 // execute runs one job to a terminal state.
 func (s *Server) execute(job *Job) {
-	wait := job.setRunning()
+	wait, ok := job.setRunning()
+	if !ok {
+		// Canceled by the client while queued; nothing to do.
+		return
+	}
 	s.metrics.jobStarted(wait)
 	if l := s.opts.Logger; l != nil {
 		l.Info("job started", "job_id", job.ID, "kind", job.Kind,
@@ -322,6 +366,31 @@ func (s *Server) execute(job *Job) {
 			sv = stageView(agg)
 		}
 		s.finalize(job, func() { job.finishSweep(res, sv, err) }, err)
+	case "campaign":
+		// The grid runs under a cancellable context so DELETE can stop
+		// it mid-grid; completed cells survive the cancellation.
+		cctx, cancelCause := context.WithCancelCause(ctx)
+		job.armCancel(cancelCause)
+		cells, err := campaign.Run(cctx, s.campaignRunner(), job.Plan, job.Camp)
+		cancelCause(nil)
+		canceled := errors.Is(err, errClientCanceled) ||
+			errors.Is(context.Cause(cctx), errClientCanceled)
+		t0 := time.Now()
+		res, grid := campaignResult(job.Plan, cells)
+		render := time.Since(t0)
+		s.metrics.observeRender(render)
+		switch {
+		case err == nil:
+			snap := job.Camp.Snapshot()
+			st := snap.Stages
+			st.Render = render
+			s.finalize(job, func() { job.finishCampaign(res, grid, stageView(st), nil) }, nil)
+			s.metrics.campaignFinished(len(job.Plan.Cells), len(job.Plan.Unique), snap.Elapsed)
+		case canceled:
+			s.finalize(job, func() { job.finishCampaign(res, grid, nil, errClientCanceled) }, err)
+		default:
+			s.finalize(job, func() { job.finishCampaign(nil, nil, nil, err) }, err)
+		}
 	}
 	if l := s.opts.Logger; l != nil {
 		l.Info("job finished", "job_id", job.ID, "kind", job.Kind,
@@ -353,7 +422,10 @@ func (s *Server) finalize(job *Job, transition func(), err error) {
 
 // finalizeCanceled cancels a job drained from the queue.
 func (s *Server) finalizeCanceled(job *Job, reason string) {
-	job.cancel(reason)
+	if !job.cancelQueued(reason) {
+		// Already canceled by the client; accounting is done.
+		return
+	}
 	s.mu.Lock()
 	if s.byKey[job.Key] == job {
 		delete(s.byKey, job.Key)
@@ -395,6 +467,7 @@ func (s *Server) submit(job *Job) (*Job, bool, error) {
 	}
 	s.jobs[job.ID] = job
 	s.byKey[job.Key] = job
+	s.order = append(s.order, job)
 	s.metrics.jobQueued()
 	return job, false, nil
 }
@@ -521,10 +594,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// clientError writes a 400 for request errors, 500 otherwise.
+// clientError writes a 400 for request errors, 500 otherwise. A
+// FieldError's dotted path lands in the envelope's "field" member so
+// clients can attribute the failure without parsing the message.
 func (s *Server) clientError(w http.ResponseWriter, err error) {
 	if isRequestError(err) {
-		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: ErrorDetail{
+			Code: "bad_request", Message: err.Error(), Field: errorField(err),
+		}})
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "internal", err.Error())
@@ -538,10 +615,13 @@ type ErrorBody struct {
 }
 
 // ErrorDetail is the envelope payload. Codes in use: bad_request,
-// not_found, queue_full, draining, internal.
+// not_found, not_ready, queue_full, draining, internal. Field, when
+// present, is the dotted path of the request field that failed
+// validation.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
 }
 
 // writeError writes the uniform error envelope.

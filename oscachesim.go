@@ -20,12 +20,14 @@
 //
 // The cmd directory provides ready-made tools: ossim (single runs),
 // tables and figures (regenerate the paper's evaluation), sweep
-// (cache-geometry grids), and tracedump (trace inspection).
+// (cache-geometry grids), campaign (batch experiment grids with
+// comparison reports), and tracedump (trace inspection).
 package oscachesim
 
 import (
 	"context"
 
+	"oscachesim/internal/campaign"
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
 	"oscachesim/internal/scenario"
@@ -258,4 +260,34 @@ type ExperimentConfig = experiment.Config
 // NewExperimentRunner returns a runner for regenerating experiments.
 func NewExperimentRunner(cfg ExperimentConfig) *ExperimentRunner {
 	return experiment.NewRunner(cfg)
+}
+
+// CampaignGrid declares a batch experiment campaign: the cross
+// product of a workload axis, machine-geometry axes (CPUs, coherence,
+// cache sizes, line sizes), a scenario sharing-degree axis, and the
+// system axis — with an explicit bound on the expanded cell count.
+type CampaignGrid = campaign.Grid
+
+// CampaignPlan is an expanded grid with duplicate cells grouped by
+// canonical configuration key, so overlapping cells simulate once.
+type CampaignPlan = campaign.Plan
+
+// CellOutcome is one completed campaign cell: its grid coordinates
+// and the simulation outcome (shared between duplicate cells).
+type CellOutcome = campaign.CellOutcome
+
+// CampaignProgress aggregates a running campaign (cells done/total,
+// stage timings, ETA); sample it with Snapshot from any goroutine.
+type CampaignProgress = campaign.Progress
+
+// NewCampaignPlan validates and expands a grid into its execution
+// plan. All failures name the offending field.
+func NewCampaignPlan(g CampaignGrid) (*CampaignPlan, error) { return campaign.NewPlan(g) }
+
+// RunCampaign fans a plan's unique configurations across the runner's
+// work-stealing workers and returns one outcome per cell in grid
+// order. On cancellation the returned slice holds the cells that
+// completed, alongside the error.
+func RunCampaign(ctx context.Context, r *ExperimentRunner, p *CampaignPlan, prog *CampaignProgress) ([]CellOutcome, error) {
+	return campaign.Run(ctx, r, p, prog)
 }
