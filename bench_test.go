@@ -9,6 +9,7 @@ package oscachesim
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"oscachesim/internal/experiment"
@@ -255,6 +256,45 @@ func benchSweep(b *testing.B, parallel bool) {
 
 // BenchmarkSweepSerial is the geometry sweep on one worker.
 func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, false) }
+
+// TestSweepAllocBudget pins BenchmarkSweepSerial's steady-state heap
+// traffic. The sweep's trace batches recycle through the explicit
+// trace pool; when a release is missed (BENCH_pr4 silently tripled
+// bytes/op this way) every run rebuilds its multi-megabyte trace from
+// fresh memory. The first sweep warms the pool, the second is
+// measured; the budget is ~2x the healthy steady state (≈58 MB), far
+// below the broken one (≈180 MB).
+func TestSweepAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	var cfgs []RunConfig
+	for _, w := range Workloads() {
+		for _, kb := range []uint64{16, 32, 64} {
+			for _, sys := range []System{Base, BlkDma, BCPref} {
+				p := DefaultMachine()
+				p.L1D.Size = kb * 1024
+				cfgs = append(cfgs, RunConfig{Workload: w, System: sys, Scale: benchScale, Seed: 1, Machine: &p})
+			}
+		}
+	}
+	sweep := func() {
+		r := experiment.NewRunner(experiment.Config{Scale: benchScale, Seed: 1})
+		if _, err := r.RunConfigs(context.Background(), cfgs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep() // warm the trace pool
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sweep()
+	runtime.ReadMemStats(&after)
+	const budget = 120 << 20
+	if got := after.TotalAlloc - before.TotalAlloc; got > budget {
+		t.Errorf("steady-state sweep allocated %d MB, budget %d MB — a trace-pool release is being missed",
+			got>>20, budget>>20)
+	}
+}
 
 // BenchmarkSweepParallel is the same sweep across GOMAXPROCS workers.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, true) }

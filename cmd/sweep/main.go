@@ -30,6 +30,7 @@ import (
 
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
+	"oscachesim/internal/prof"
 	"oscachesim/internal/scenario"
 	"oscachesim/internal/sim"
 	"oscachesim/internal/workload"
@@ -37,12 +38,12 @@ import (
 
 func main() {
 	var (
-		sizes   = flag.String("sizes", "", "comma-separated L1D sizes in KB to sweep")
-		lines   = flag.String("linesizes", "", "comma-separated L1D line sizes in bytes to sweep")
-		l2line  = flag.Uint64("l2line", 32, "L2 line size in bytes during a line-size sweep")
-		sysList = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated systems")
-		ncpus   = flag.Int("cpus", 0, "processor count at every grid point (0 = the paper's 4)")
-		cohname = flag.String("coherence", "", "coherence protocol at every grid point: snoop (default) or directory")
+		sizes    = flag.String("sizes", "", "comma-separated L1D sizes in KB to sweep")
+		lines    = flag.String("linesizes", "", "comma-separated L1D line sizes in bytes to sweep")
+		l2line   = flag.Uint64("l2line", 32, "L2 line size in bytes during a line-size sweep")
+		sysList  = flag.String("systems", "Base,Blk_Dma,BCPref", "comma-separated systems")
+		ncpus    = flag.Int("cpus", 0, "processor count at every grid point (0 = the paper's 4)")
+		cohname  = flag.String("coherence", "", "coherence protocol at every grid point: snoop (default) or directory")
 		wname    = flag.String("workload", "", "workload (default: all four)")
 		scnArg   = flag.String("scenario", "", "declarative scenario: a spec file path or a preset name (replaces -workload)")
 		sharers  = flag.String("sharers", "", "comma-separated sharing degrees to sweep (requires -scenario)")
@@ -51,9 +52,17 @@ func main() {
 		parallel = flag.Bool("parallel", true, "fan grid points across workers (output is identical to serial)")
 		workers  = flag.Int("workers", 0, "worker count when parallel (0 = GOMAXPROCS)")
 		stream   = flag.Bool("stream", false, "generate each workload concurrently with its simulation in bounded chunks (identical output, flat memory)")
+		intraW   = flag.Int("intra-workers", 0, "advance processors of each single run concurrently on this many workers (byte-identical output; 0 or 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 		verbose  = flag.Bool("v", false, "append per-worker scheduler stats (busy/idle time, runs, steals)")
 	)
 	flag.Parse()
+	stopProfiles, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	axes := 0
 	for _, s := range []string{*sizes, *lines, *sharers} {
 		if s != "" {
@@ -163,7 +172,7 @@ func main() {
 		p := pt.p
 		cfg := core.RunConfig{
 			System: sys, Scale: *scale, Seed: *seed,
-			Machine: &p, Stream: *stream,
+			Machine: &p, Stream: *stream, IntraWorkers: *intraW,
 		}
 		if pt.spec != nil {
 			cfg.Scenario = pt.spec
@@ -177,6 +186,7 @@ func main() {
 	defer stop()
 	r := experiment.NewRunnerContext(ctx, experiment.Config{
 		Scale: *scale, Seed: *seed, Parallel: *parallel, Workers: *workers, Stream: *stream,
+		IntraWorkers: *intraW,
 	})
 
 	// Warm the whole grid through the work-stealing scheduler, then

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"oscachesim/internal/workload"
+)
+
+func TestIntraSmoke(t *testing.T) {
+	for _, wl := range []workload.Name{workload.TRFD4, workload.Shell} {
+		serial, err := Run(context.Background(), RunConfig{Workload: wl, System: Base, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Run(context.Background(), RunConfig{Workload: wl, System: Base, Seed: 7, IntraWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Counters != par.Counters {
+			t.Errorf("%s: counters differ\nserial %+v\npar    %+v", wl, serial.Counters, par.Counters)
+		}
+		if !reflect.DeepEqual(serial.CPUTime, par.CPUTime) || serial.Refs != par.Refs {
+			t.Errorf("%s: cputime/refs differ: %v/%d vs %v/%d", wl, serial.CPUTime, serial.Refs, par.CPUTime, par.Refs)
+		}
+	}
+}

@@ -41,6 +41,12 @@ type Config struct {
 	// pinned by the streaming determinism tier — so this only trades
 	// peak memory and wall clock.
 	Stream bool
+	// IntraWorkers runs each single simulation on this many worker
+	// goroutines (core.RunConfig.IntraWorkers): processors advance
+	// concurrently through provably conflict-free time windows, byte-
+	// identical to the serial engine. 0 or 1 means serial. Orthogonal
+	// to Parallel/Workers, which fan out across simulations.
+	IntraWorkers int
 }
 
 // DefaultConfig returns the configuration used for the published
@@ -133,7 +139,7 @@ func (r *Runner) configFor(w workload.Name, sys core.System) core.RunConfig {
 	return core.RunConfig{
 		Workload: w, System: sys,
 		Scale: r.cfg.Scale, Seed: r.cfg.Seed,
-		Stream: r.cfg.Stream,
+		Stream: r.cfg.Stream, IntraWorkers: r.cfg.IntraWorkers,
 	}
 }
 

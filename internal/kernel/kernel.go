@@ -94,13 +94,15 @@ func (e *Emitter) FlushPending() {
 
 // Reserve ensures capacity for at least n further references, so a
 // generator that can estimate its output (rounds × refs-per-round)
-// pays one allocation instead of a doubling cascade.
+// pays one allocation instead of a doubling cascade. The grown batch
+// comes from the trace pool and the outgrown one returns to it, so
+// repeated builds recycle both generations of backing array.
 func (e *Emitter) Reserve(n int) {
 	if cap(e.Refs)-len(e.Refs) >= n {
 		return
 	}
-	grown := make([]trace.Ref, len(e.Refs), len(e.Refs)+n)
-	copy(grown, e.Refs)
+	grown := append(trace.GetBatch(len(e.Refs)+n), e.Refs...)
+	trace.PutBatch(e.Refs)
 	e.Refs = grown
 }
 

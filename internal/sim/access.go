@@ -257,6 +257,7 @@ func (s *Simulator) writeAccess(c *cpuState, r trace.Ref, mode int) {
 		Tag:   uint8(r.Class),
 		Block: r.Block,
 	})
+	s.drainMask[c.id>>6] |= 1 << (uint(c.id) & 63)
 	if s.obs != nil {
 		s.emit(Event{Kind: EvWBPush, CPU: c.id, Level: 1, Addr: r.Addr})
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"oscachesim/internal/bus"
 	"oscachesim/internal/coherence"
@@ -40,7 +41,29 @@ type Simulator struct {
 	// when Params.RegionNamer is set.
 	conflicts map[ConflictPair]uint64
 
+	// runq holds the runnable processor ids — only runnable ones, so
+	// done and blocked processors cost nothing per step. At small
+	// machine sizes it is an unordered set selected from by linear
+	// scan (a handful of loads, cheaper than heap maintenance); past
+	// runqScanMax CPUs it is a binary min-heap keyed on (local clock,
+	// id), replacing the per-step scan that turned quadratic at
+	// directory-scale CPU counts. Both orders pick the same processor:
+	// smallest clock, ties to the lowest id. heapPos is each
+	// processor's index in runq, or -1 while it is done or blocked.
+	runq    []int32
+	heapPos []int32
+	useHeap bool
+
+	// drainMask has one bit per processor, set while that processor has
+	// a nonempty write buffer. step probes only flagged processors (in
+	// ascending id order, matching the old full scan) instead of all N.
+	drainMask []uint64
+
 	refs uint64
+
+	// intraStats is the parallel engine's window census of the last Run
+	// (see parallel.go); zero for serial runs.
+	intraStats intraStats
 }
 
 // ConflictPair names the two data structures involved in a
@@ -116,6 +139,16 @@ func New(p Params, sources []trace.Source) (*Simulator, error) {
 	for i, src := range sources {
 		s.cpus = append(s.cpus, newCPU(i, p, src))
 	}
+	s.useHeap = p.NumCPUs > runqScanMax
+	s.heapPos = make([]int32, p.NumCPUs)
+	s.runq = make([]int32, 0, p.NumCPUs)
+	for i := range s.cpus {
+		s.heapPos[i] = -1
+	}
+	for i := range s.cpus {
+		s.runqPush(int32(i))
+	}
+	s.drainMask = make([]uint64, (p.NumCPUs+63)/64)
 	return s, nil
 }
 
@@ -124,6 +157,9 @@ func New(p Params, sources []trace.Source) (*Simulator, error) {
 // ctxCheckStride steps, so an abort costs at most a few microseconds of
 // extra simulation); the error then wraps context.Cause(ctx).
 func (s *Simulator) Run(ctx context.Context) (*Result, error) {
+	if s.intraEligible() {
+		return s.runParallel(ctx)
+	}
 	for n := uint64(0); ; n++ {
 		if n&(ctxCheckStride-1) == 0 {
 			select {
@@ -132,17 +168,18 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
-		c := s.nextRunnable()
-		if c == nil {
+		if len(s.runq) == 0 {
 			if s.allDone() {
 				break
 			}
 			return nil, s.deadlockError()
 		}
+		c := s.schedNext()
 		if s.p.MaxRefs != 0 && s.refs >= s.p.MaxRefs {
 			return nil, fmt.Errorf("sim: exceeded MaxRefs=%d", s.p.MaxRefs)
 		}
 		s.step(c)
+		s.runqFixAfterStep(c)
 		if s.p.Progress != nil && n&(progressStride-1) == 0 {
 			s.p.Progress.sample(s.refs, s.c.DReadMisses[trace.KindOS], c.time)
 		}
@@ -151,6 +188,11 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 	if s.p.Progress != nil {
 		s.p.Progress.markDone(s.refs, s.c.DReadMisses[trace.KindOS], s.c.Cycles)
 	}
+	return s.result(), nil
+}
+
+// result assembles the Result record after finish().
+func (s *Simulator) result() *Result {
 	res := &Result{
 		Counters:  s.c,
 		Refs:      s.refs,
@@ -160,7 +202,7 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 	for _, c := range s.cpus {
 		res.CPUTime = append(res.CPUTime, c.time)
 	}
-	return res, nil
+	return res
 }
 
 // ctxCheckStride and progressStride must be powers of two; they bound
@@ -170,19 +212,140 @@ const (
 	progressStride = 256
 )
 
+// runqScanMax is the machine size up to which runnable selection is a
+// linear scan of the runnable set; above it the set is heap-ordered.
+const runqScanMax = 32
+
 // nextRunnable returns the unblocked, unfinished processor with the
-// smallest local clock, or nil.
+// smallest local clock, or nil. Ties break toward the lowest id, the
+// order the original full linear scan produced.
 func (s *Simulator) nextRunnable() *cpuState {
-	var best *cpuState
-	for _, c := range s.cpus {
-		if c.done || c.blocked {
-			continue
-		}
-		if best == nil || c.time < best.time {
-			best = c
+	if len(s.runq) == 0 {
+		return nil
+	}
+	return s.schedNext()
+}
+
+// schedNext picks the runnable processor with the smallest (clock, id)
+// key. The caller guarantees the runnable set is nonempty.
+func (s *Simulator) schedNext() *cpuState {
+	if s.useHeap {
+		return s.cpus[s.runq[0]]
+	}
+	best := s.runq[0]
+	bt := s.cpus[best].time
+	for _, id := range s.runq[1:] {
+		if t := s.cpus[id].time; t < bt || (t == bt && id < best) {
+			best, bt = id, t
 		}
 	}
-	return best
+	return s.cpus[best]
+}
+
+// runLess orders the heap by (local clock, id): the strict < on time
+// means the earliest-pushed lowest id wins ties, byte-identical to the
+// linear scan it replaced.
+func (s *Simulator) runLess(a, b int32) bool {
+	ta, tb := s.cpus[a].time, s.cpus[b].time
+	return ta < tb || (ta == tb && a < b)
+}
+
+func (s *Simulator) runqSwap(i, j int) {
+	s.runq[i], s.runq[j] = s.runq[j], s.runq[i]
+	s.heapPos[s.runq[i]] = int32(i)
+	s.heapPos[s.runq[j]] = int32(j)
+}
+
+func (s *Simulator) runqUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.runLess(s.runq[i], s.runq[parent]) {
+			return
+		}
+		s.runqSwap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Simulator) runqDown(i int) bool {
+	n := len(s.runq)
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.runLess(s.runq[r], s.runq[l]) {
+			m = r
+		}
+		if !s.runLess(s.runq[m], s.runq[i]) {
+			break
+		}
+		s.runqSwap(i, m)
+		i = m
+	}
+	return i > start
+}
+
+// runqPush inserts a (re)runnable processor.
+func (s *Simulator) runqPush(id int32) {
+	s.heapPos[id] = int32(len(s.runq))
+	s.runq = append(s.runq, id)
+	if s.useHeap {
+		s.runqUp(len(s.runq) - 1)
+	}
+}
+
+// runqRemove drops a processor that finished or blocked.
+func (s *Simulator) runqRemove(id int32) {
+	i := int(s.heapPos[id])
+	if i < 0 {
+		return
+	}
+	n := len(s.runq) - 1
+	s.runqSwap(i, n)
+	s.runq = s.runq[:n]
+	s.heapPos[id] = -1
+	if s.useHeap && i < n {
+		if !s.runqDown(i) {
+			s.runqUp(i)
+		}
+	}
+}
+
+// runqFixAfterStep restores heap order for the just-stepped processor:
+// it either left the runnable set (done, or blocked on a lock/barrier)
+// or its clock advanced. A barrier release inside the step can also
+// have moved it away from the root, so the repair starts from its
+// current position and sifts both ways.
+func (s *Simulator) runqFixAfterStep(c *cpuState) {
+	if c.done || c.blocked {
+		s.runqRemove(int32(c.id))
+		return
+	}
+	if !s.useHeap {
+		return
+	}
+	i := int(s.heapPos[c.id])
+	if !s.runqDown(i) {
+		s.runqUp(i)
+	}
+}
+
+// runqRebuild reconstructs the runnable set from scratch — after a
+// parallel window, whose workers advance clocks (and can finish
+// processors) without touching the heap.
+func (s *Simulator) runqRebuild() {
+	s.runq = s.runq[:0]
+	for i := range s.heapPos {
+		s.heapPos[i] = -1
+	}
+	for _, c := range s.cpus {
+		if !c.done && !c.blocked {
+			s.runqPush(int32(c.id))
+		}
+	}
 }
 
 func (s *Simulator) allDone() bool {
@@ -214,8 +377,19 @@ func (s *Simulator) deadlockError() error {
 // current global time, so remote stores become visible (and
 // invalidate) on schedule even when their issuer has gone idle.
 func (s *Simulator) step(c *cpuState) {
-	for _, o := range s.cpus {
-		s.advanceDrainsUntil(o, c.time)
+	// Only processors with buffered writes need probing; the bitmask
+	// walk visits them in ascending id, the order the old full scan
+	// used (drain order is observable through bus arbitration).
+	for w, m := range s.drainMask {
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << b
+			o := s.cpus[w*64+b]
+			s.advanceDrainsUntil(o, c.time)
+			if o.l1wb.Len() == 0 && o.l2wb.Len() == 0 {
+				s.drainMask[w] &^= 1 << b
+			}
+		}
 	}
 	r, ok := c.src.Next()
 	if !ok {
@@ -316,6 +490,7 @@ func (s *Simulator) lockRelease(c *cpuState, r trace.Ref) {
 	s.c.Time[wmode].Sync += grant - w.arrived
 	wc.time = grant
 	wc.blocked = false
+	s.runqPush(int32(wc.id))
 	// The successful test&set happens now, with its coherence
 	// traffic (it invalidates the releaser's copy of the lock word,
 	// seeding the next coherence miss on the lock).
@@ -347,6 +522,11 @@ func (s *Simulator) barrierArrive(c *cpuState, r trace.Ref, mode int) {
 		s.c.Time[wmode].Sync += release - w.arrived
 		wc.time = release
 		wc.blocked = false
+		if wc != c {
+			// c is still in the heap (it is mid-step); the others
+			// blocked on arrival and left it.
+			s.runqPush(int32(wc.id))
+		}
 	}
 	delete(s.barriers, r.SyncID)
 }

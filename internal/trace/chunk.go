@@ -43,7 +43,9 @@ type ChunkPipeline struct {
 	drained  sync.Cond // the producer waits here for room or starvation
 
 	queues  [][][]Ref // per-CPU FIFO of filled chunks
+	heads   []int     // per-CPU index of the FIFO head in queues[cpu]
 	pending []int     // per-CPU refs queued and not yet received
+	total   int       // refs pending across all queues (Σ pending)
 
 	budget   int   // per-CPU pending-ref soft cap
 	starving []int // per-CPU count of consumers blocked on that empty queue
@@ -75,6 +77,7 @@ func NewChunkPipeline(numCPUs, budgetRefs int) *ChunkPipeline {
 	}
 	p := &ChunkPipeline{
 		queues:   make([][][]Ref, numCPUs),
+		heads:    make([]int, numCPUs),
 		pending:  make([]int, numCPUs),
 		starving: make([]int, numCPUs),
 		budget:   budgetRefs,
@@ -114,12 +117,9 @@ func (p *ChunkPipeline) Send(cpu int, chunk []Ref) bool {
 	p.queues[cpu] = append(p.queues[cpu], chunk)
 	p.pending[cpu] += len(chunk)
 	p.sent += uint64(len(chunk))
-	total := 0
-	for _, n := range p.pending {
-		total += n
-	}
-	if total > p.peak {
-		p.peak = total
+	p.total += len(chunk)
+	if p.total > p.peak {
+		p.peak = p.total
 	}
 	p.produced.Broadcast()
 	p.mu.Unlock()
@@ -131,11 +131,17 @@ func (p *ChunkPipeline) Send(cpu int, chunk []Ref) bool {
 // budget. Callers hold p.mu.
 func (p *ChunkPipeline) unfedStarver() bool {
 	for cpu, n := range p.starving {
-		if n > 0 && len(p.queues[cpu]) == 0 {
+		if n > 0 && p.queued(cpu) == 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// queued returns the number of chunks waiting in one CPU's FIFO.
+// Callers hold p.mu.
+func (p *ChunkPipeline) queued(cpu int) int {
+	return len(p.queues[cpu]) - p.heads[cpu]
 }
 
 // Close marks the stream complete. Consumers drain the remaining
@@ -157,12 +163,14 @@ func (p *ChunkPipeline) Abort() {
 	p.mu.Lock()
 	p.aborted = true
 	for cpu, q := range p.queues {
-		for _, chunk := range q {
+		for _, chunk := range q[p.heads[cpu]:] {
 			PutBatch(chunk)
 		}
 		p.queues[cpu] = nil
+		p.heads[cpu] = 0
 		p.pending[cpu] = 0
 	}
+	p.total = 0
 	p.drained.Broadcast()
 	p.produced.Broadcast()
 	p.mu.Unlock()
@@ -174,21 +182,31 @@ func (p *ChunkPipeline) Abort() {
 // deadlock-freedom rule described in the file comment.
 func (p *ChunkPipeline) recv(cpu int) ([]Ref, bool) {
 	p.mu.Lock()
-	for len(p.queues[cpu]) == 0 && !p.closed && !p.aborted {
+	for p.queued(cpu) == 0 && !p.closed && !p.aborted {
 		p.starving[cpu]++
 		p.drained.Broadcast()
 		p.produced.Wait()
 		p.starving[cpu]--
 	}
-	q := p.queues[cpu]
-	if len(q) == 0 {
+	if p.queued(cpu) == 0 {
 		p.mu.Unlock()
 		return nil, false
 	}
-	chunk := q[0]
-	copy(q, q[1:])
-	p.queues[cpu] = q[:len(q)-1]
+	// Pop by advancing a head index — no per-chunk shift of the FIFO.
+	// The backing array resets once drained, so its capacity is reused
+	// by later Sends instead of the slice crawling forward forever.
+	q := p.queues[cpu]
+	h := p.heads[cpu]
+	chunk := q[h]
+	q[h] = nil
+	h++
+	if h == len(q) {
+		p.queues[cpu] = q[:0]
+		h = 0
+	}
+	p.heads[cpu] = h
 	p.pending[cpu] -= len(chunk)
+	p.total -= len(chunk)
 	p.drained.Broadcast()
 	p.mu.Unlock()
 	return chunk, true
@@ -248,7 +266,7 @@ func (s *ChunkSource) Ready() bool {
 	}
 	s.p.mu.Lock()
 	defer s.p.mu.Unlock()
-	return len(s.p.queues[s.cpu]) > 0 || s.p.closed || s.p.aborted
+	return s.p.queued(s.cpu) > 0 || s.p.closed || s.p.aborted
 }
 
 // Next implements Source.

@@ -8,33 +8,69 @@ import "sync"
 // churn off the garbage collector, which matters once runs execute
 // concurrently on every core.
 //
-// The pool stores *[]Ref so that Put does not box a fresh interface
-// header for every slice.
-var refPool = sync.Pool{
-	New: func() any {
-		b := make([]Ref, 0, 1<<16)
-		return &b
-	},
+// The pool is an explicit bounded free-list rather than a sync.Pool: a
+// sweep's allocation rate forces frequent collections, and a sync.Pool
+// is emptied by every second GC — exactly when reuse matters most, the
+// batches were gone and every run rebuilt its trace from fresh memory.
+// The explicit list survives collection, is bounded (maxPooledBatches
+// entries, maxPooledRefs references each) so one outsized run cannot
+// pin unbounded memory, and prefers evicting its smallest entry so the
+// arrays that serve the widest range of requests stay resident.
+var refPool struct {
+	sync.Mutex
+	batches [][]Ref
 }
 
+const (
+	// maxPooledBatches bounds the free-list length; a parallel sweep
+	// releases at most a few batches per worker between builds.
+	maxPooledBatches = 64
+	// maxPooledRefs bounds one pooled batch's capacity (× 16 B/ref);
+	// larger arrays come from one-off giant runs and are left to the
+	// collector.
+	maxPooledRefs = 1 << 24
+)
+
 // GetBatch returns an empty Ref slice with capacity at least capacity,
-// reusing a previously released batch when one is available.
+// reusing a previously released batch when one is large enough.
 func GetBatch(capacity int) []Ref {
-	p := refPool.Get().(*[]Ref)
-	b := (*p)[:0]
-	if cap(b) < capacity {
-		b = make([]Ref, 0, capacity)
+	refPool.Lock()
+	for i := len(refPool.batches) - 1; i >= 0; i-- {
+		if b := refPool.batches[i]; cap(b) >= capacity {
+			last := len(refPool.batches) - 1
+			refPool.batches[i] = refPool.batches[last]
+			refPool.batches[last] = nil
+			refPool.batches = refPool.batches[:last]
+			refPool.Unlock()
+			return b[:0]
+		}
 	}
-	return b
+	refPool.Unlock()
+	return make([]Ref, 0, capacity)
 }
 
 // PutBatch releases a batch back to the pool. The caller must not use
 // the slice (or any alias of it) afterwards: the backing array will be
-// handed to a future GetBatch caller and overwritten.
+// handed to a future GetBatch caller and overwritten. When the pool is
+// full, the smallest batch (incoming included) is dropped.
 func PutBatch(b []Ref) {
-	if cap(b) == 0 {
+	if cap(b) == 0 || cap(b) > maxPooledRefs {
 		return
 	}
 	b = b[:0]
-	refPool.Put(&b)
+	refPool.Lock()
+	defer refPool.Unlock()
+	if len(refPool.batches) < maxPooledBatches {
+		refPool.batches = append(refPool.batches, b)
+		return
+	}
+	smallest := 0
+	for i, p := range refPool.batches {
+		if cap(p) < cap(refPool.batches[smallest]) {
+			smallest = i
+		}
+	}
+	if cap(refPool.batches[smallest]) < cap(b) {
+		refPool.batches[smallest] = b
+	}
 }
