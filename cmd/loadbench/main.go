@@ -13,9 +13,21 @@
 // Exit status is non-zero when any request failed, so CI can drive it
 // as a smoke test.
 //
+// Cluster mode drives a coordinator and audits the cluster's
+// exactly-once invariant: -cluster lists every node (coordinator
+// first — submissions go to it, and it routes each unique
+// configuration to the worker owning its key). After the run,
+// loadbench reads GET /v1/cluster, prints the per-node execution
+// table, and — when -expect-unique is set — fails unless the summed
+// simulation executions across the whole cluster equal it, i.e.
+// unless every unique canonical key was simulated exactly once
+// cluster-wide no matter how many duplicates were submitted.
+//
 // Usage:
 //
 //	loadbench -addr http://127.0.0.1:8080 -n 50 -c 8 -scale 2 -seeds 5
+//	loadbench -cluster http://coord:8080,http://w1:8081,http://w2:8082 \
+//	          -n 60 -c 12 -seeds 6 -expect-unique 6
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,18 +59,36 @@ func main() {
 		poll    = flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-request end-to-end budget")
 		stream  = flag.Bool("stream", false, "request streaming generation (stream:true) so the daemon's workers exercise the chunked pipeline")
+
+		clusterList  = flag.String("cluster", "", "comma-separated node base URLs, coordinator first; submissions go to the coordinator and the per-node execution table is reported")
+		expectUnique = flag.Int("expect-unique", -1, "assert total cluster-wide simulation executions equal this (exactly-once audit); -1 disables")
 	)
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *seeds <= 0 {
 		fmt.Fprintln(os.Stderr, "loadbench: -n, -c and -seeds must be positive")
 		os.Exit(2)
 	}
+	var nodes []string
+	if *clusterList != "" {
+		for _, u := range strings.Split(*clusterList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				nodes = append(nodes, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(nodes) == 0 {
+			fmt.Fprintln(os.Stderr, "loadbench: -cluster lists no nodes")
+			os.Exit(2)
+		}
+		// The coordinator is the entry point: it routes unique work to
+		// the workers and serves every duplicate from its caches.
+		*addr = nodes[0]
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	var (
 		okCount, errCount, dedupCount, retries atomic.Int64
-		mu  sync.Mutex
-		max time.Duration
+		mu                                     sync.Mutex
+		max                                    time.Duration
 	)
 	// End-to-end latency goes into the same fixed-bucket histogram type
 	// the daemon uses for its stage and request timings, so loadbench's
@@ -112,9 +143,56 @@ func main() {
 	if body, err := get(client, *addr+"/v1/metrics"); err == nil {
 		fmt.Printf("metrics: %s", body)
 	}
+	if len(nodes) > 0 {
+		if !clusterAudit(client, nodes, *expectUnique) {
+			os.Exit(1)
+		}
+	}
 	if errCount.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// clusterAudit prints every node's execution and store counts and
+// checks the exactly-once invariant: the simulations actually executed
+// across the whole cluster must equal the expected unique-key count.
+// The coordinator's /v1/cluster table carries the workers' counts (via
+// heartbeats); each node's own /v1/cluster "self" row is authoritative,
+// so nodes are asked directly when reachable.
+func clusterAudit(client *http.Client, nodes []string, expectUnique int) bool {
+	var total uint64
+	fmt.Println("cluster:")
+	for _, node := range nodes {
+		body, err := get(client, node+"/v1/cluster")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadbench: %s: %v\n", node, err)
+			return false
+		}
+		var view struct {
+			Self struct {
+				ID         string `json:"id"`
+				Role       string `json:"role"`
+				Executions uint64 `json:"executions"`
+				Store      struct {
+					Records int `json:"records"`
+				} `json:"store"`
+			} `json:"self"`
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			fmt.Fprintf(os.Stderr, "loadbench: %s: bad /v1/cluster body: %v\n", node, err)
+			return false
+		}
+		fmt.Printf("  node %-12s role=%-11s executions=%-4d store_records=%d  (%s)\n",
+			view.Self.ID, view.Self.Role, view.Self.Executions, view.Self.Store.Records, node)
+		total += view.Self.Executions
+	}
+	fmt.Printf("cluster: %d simulations executed cluster-wide\n", total)
+	if expectUnique >= 0 && total != uint64(expectUnique) {
+		fmt.Fprintf(os.Stderr, "loadbench: exactly-once violated: %d executions cluster-wide, expected %d\n",
+			total, expectUnique)
+		return false
+	}
+	return true
 }
 
 // runBody renders one /v1/runs request body.

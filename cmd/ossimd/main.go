@@ -8,6 +8,19 @@
 //
 //	ossimd -addr :8080 -workers 4 -queue 64 -job-timeout 5m
 //	ossimd -debug-addr 127.0.0.1:6060   # opt-in pprof on a separate listener
+//	ossimd -store-dir /var/lib/ossimd   # durable result store (survives restart)
+//
+// Cluster mode (see README.md, "Cluster"):
+//
+//	ossimd -addr :8080 -coordinator -store-dir /tmp/coord     # coordinator
+//	ossimd -addr :8081 -join http://coord:8080 \
+//	       -advertise http://worker1:8081 -node-id w1 \
+//	       -store-dir /tmp/w1                                  # worker
+//
+// The coordinator routes each unique configuration to the worker
+// owning its canonical key on a consistent-hash ring, so the cluster
+// computes every unique configuration exactly once; workers heartbeat,
+// and a lost worker's keys re-route to the survivors.
 //
 // API (see README.md for the full reference):
 //
@@ -40,7 +53,9 @@ import (
 	"syscall"
 	"time"
 
+	"oscachesim/internal/cluster"
 	"oscachesim/internal/server"
+	"oscachesim/internal/store"
 )
 
 func main() {
@@ -53,6 +68,12 @@ func main() {
 		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "maximum wait for in-flight jobs at shutdown")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		storeDir    = flag.String("store-dir", "", "durable result-store directory; empty keeps results in memory only")
+		coordinator = flag.Bool("coordinator", false, "run as cluster coordinator (accept workers, route compute)")
+		join        = flag.String("join", "", "coordinator base URL to join as a worker (e.g. http://coord:8080)")
+		nodeID      = flag.String("node-id", "", "stable cluster node id (default: the hostname)")
+		advertise   = flag.String("advertise", "", "this worker's base URL as reachable from the coordinator (required with -join)")
 	)
 	flag.Parse()
 
@@ -61,13 +82,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ossimd: %v\n", err)
 		os.Exit(2)
 	}
+	if *coordinator && *join != "" {
+		fmt.Fprintln(os.Stderr, "ossimd: -coordinator and -join are mutually exclusive")
+		os.Exit(2)
+	}
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "ossimd: -join requires -advertise (the URL the coordinator forwards compute to)")
+		os.Exit(2)
+	}
+	if *nodeID == "" {
+		if host, err := os.Hostname(); err == nil {
+			*nodeID = host
+		} else {
+			*nodeID = "ossimd"
+		}
+	}
 
-	srv := server.New(server.Options{
+	st, err := store.Open(*storeDir, logger)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ossimd: opening result store: %v\n", err)
+		os.Exit(1)
+	}
+	opts := server.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 		Logger:     logger,
-	})
+		Store:      st,
+	}
+	if *coordinator || *join != "" {
+		opts.Cluster = &server.ClusterOptions{
+			NodeID:      *nodeID,
+			Coordinator: *coordinator,
+		}
+	}
+	srv := server.New(opts)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -98,6 +147,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// A worker keeps a register/heartbeat loop against its coordinator
+	// for as long as the process lives; the coordinator learns the
+	// node's queue depth, store size and execution count from it.
+	if *join != "" {
+		agent := &cluster.Agent{
+			Coordinator: *join,
+			NodeID:      *nodeID,
+			Advertise:   *advertise,
+			Stats:       srv.ClusterStats,
+			Logger:      logger,
+		}
+		go agent.Run(ctx)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "workers", *workers,
@@ -123,6 +186,9 @@ func main() {
 	if err := srv.Drain(shutCtx); err != nil {
 		logger.Error("drain incomplete", "error", err)
 		os.Exit(1)
+	}
+	if err := st.Close(); err != nil {
+		logger.Warn("closing result store", "error", err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "error", err)

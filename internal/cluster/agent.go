@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Wire paths of the coordinator's membership endpoints (also listed in
+// the server's routing table and API.md).
+const (
+	RegisterPath  = "/v1/cluster/nodes"
+	heartbeatPath = "/v1/cluster/nodes/%s/heartbeat"
+)
+
+// RegisterRequest is the body of POST /v1/cluster/nodes: a worker
+// announcing itself.
+type RegisterRequest struct {
+	// ID is the worker's stable identity (ring placement).
+	ID string `json:"id"`
+	// Addr is the base URL the coordinator forwards compute to.
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse tells the worker the coordinator's expectations.
+type RegisterResponse struct {
+	// Known reports a re-registration (the coordinator already had the
+	// node, e.g. after a worker restart under the same id).
+	Known bool `json:"known"`
+	// HeartbeatMS is the period the worker must heartbeat at to stay
+	// alive (a fraction of the coordinator's expiry timeout).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// Agent is the worker-side membership loop: register with the
+// coordinator, heartbeat at the period it dictates (carrying the
+// node's live load snapshot), and re-register whenever the coordinator
+// forgets us — a coordinator restart loses its node table, and the
+// 404 it then answers heartbeats with is the signal to start over.
+type Agent struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// NodeID is this worker's stable identity.
+	NodeID string
+	// Advertise is this worker's own base URL, as reachable from the
+	// coordinator.
+	Advertise string
+	// Stats, when non-nil, supplies the load snapshot each heartbeat
+	// carries.
+	Stats func() NodeStats
+	// Logger, when non-nil, receives lifecycle logs.
+	Logger *slog.Logger
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+
+	heartbeat time.Duration
+}
+
+func (a *Agent) http() *http.Client {
+	if a.HTTP != nil {
+		return a.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Run drives the register/heartbeat loop until ctx is canceled.
+// Failures never stop the loop: an unreachable coordinator is retried
+// with backoff, because the worker keeps serving compute regardless.
+func (a *Agent) Run(ctx context.Context) {
+	backoff := time.Second
+	for ctx.Err() == nil {
+		if err := a.register(ctx); err != nil {
+			if a.Logger != nil {
+				a.Logger.Warn("cluster register failed", "coordinator", a.Coordinator, "err", err)
+			}
+			if !sleep(ctx, backoff) {
+				return
+			}
+			if backoff < 30*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Second
+		if a.Logger != nil {
+			a.Logger.Info("registered with coordinator",
+				"coordinator", a.Coordinator, "node_id", a.NodeID, "heartbeat", a.heartbeat)
+		}
+		// Heartbeat until the coordinator forgets us or ctx ends.
+		for {
+			if !sleep(ctx, a.heartbeat) {
+				return
+			}
+			known, err := a.sendHeartbeat(ctx)
+			if err != nil {
+				if a.Logger != nil {
+					a.Logger.Warn("heartbeat failed", "err", err)
+				}
+				break // re-register (also covers coordinator restarts)
+			}
+			if !known {
+				break // coordinator lost the table: re-register
+			}
+		}
+	}
+}
+
+// register announces the worker and adopts the coordinator's heartbeat
+// period.
+func (a *Agent) register(ctx context.Context) error {
+	var resp RegisterResponse
+	err := a.post(ctx, a.Coordinator+RegisterPath,
+		RegisterRequest{ID: a.NodeID, Addr: a.Advertise}, &resp)
+	if err != nil {
+		return err
+	}
+	a.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	if a.heartbeat <= 0 {
+		a.heartbeat = time.Second
+	}
+	return nil
+}
+
+// sendHeartbeat reports liveness and load; known=false means the
+// coordinator answered 404 and the agent must re-register.
+func (a *Agent) sendHeartbeat(ctx context.Context) (known bool, err error) {
+	var stats NodeStats
+	if a.Stats != nil {
+		stats = a.Stats()
+	}
+	url := a.Coordinator + fmt.Sprintf(heartbeatPath, a.NodeID)
+	err = a.post(ctx, url, stats, nil)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusNotFound {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// statusError is a non-2xx response.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("%d: %s", e.code, e.body) }
+
+// post sends one JSON request and decodes the response into out (when
+// non-nil).
+func (a *Agent) post(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(snippet))}
+	}
+	if out != nil {
+		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return nil
+}
+
+// sleep waits d or until ctx ends; it reports whether the full wait
+// happened.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a worker's health as the coordinator sees it.
+type NodeState string
+
+const (
+	// NodeAlive: heartbeats arriving; the node owns ring keys.
+	NodeAlive NodeState = "alive"
+	// NodeSuspect: heartbeats missed (or a forward failed); the node is
+	// out of the ring — its keys re-route to the next ring owner — but
+	// a heartbeat resurrects it.
+	NodeSuspect NodeState = "suspect"
+	// NodeDead: suspect long enough to give up on. Kept in the table
+	// for operator visibility; re-registration resurrects it.
+	NodeDead NodeState = "dead"
+)
+
+// NodeStats is the load snapshot a worker reports with each heartbeat
+// and GET /v1/cluster serves per node.
+type NodeStats struct {
+	// QueueDepth is the worker's pending job-queue length.
+	QueueDepth int `json:"queue_depth"`
+	// StoreRecords is the worker's durable-store record count.
+	StoreRecords int `json:"store_records"`
+	// Executions is how many simulations the node actually ran (not
+	// served from any cache) — the number the exactly-once invariant
+	// is audited with.
+	Executions uint64 `json:"executions"`
+}
+
+// NodeInfo is one row of the cluster's node table.
+type NodeInfo struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	State    NodeState `json:"state"`
+	LastSeen time.Time `json:"last_seen"`
+	Stats    NodeStats `json:"stats"`
+}
+
+// deadAfter is how many heartbeat timeouts a suspect node gets before
+// it is declared dead.
+const deadAfter = 4
+
+// Membership is the coordinator's view of its workers: a node table
+// driven by registrations and heartbeats, and the consistent-hash ring
+// over the nodes currently believed alive. Safe for concurrent use.
+type Membership struct {
+	timeout time.Duration
+	now     func() time.Time // test seam; time.Now by default
+
+	mu    sync.Mutex
+	ring  *Ring
+	nodes map[string]*NodeInfo
+}
+
+// NewMembership returns an empty membership expiring nodes whose last
+// heartbeat is older than timeout.
+func NewMembership(timeout time.Duration) *Membership {
+	return &Membership{
+		timeout: timeout,
+		now:     time.Now,
+		ring:    NewRing(0),
+		nodes:   make(map[string]*NodeInfo),
+	}
+}
+
+// Timeout returns the heartbeat expiry the membership enforces —
+// workers derive their heartbeat period from it.
+func (m *Membership) Timeout() time.Duration { return m.timeout }
+
+// Register adds (or resurrects) a worker and reports whether it was
+// already known. Registration implies liveness: the node enters the
+// ring immediately.
+func (m *Membership) Register(id, addr string) (known bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, known := m.nodes[id]
+	if !known {
+		n = &NodeInfo{ID: id}
+		m.nodes[id] = n
+	}
+	n.Addr = addr
+	n.State = NodeAlive
+	n.LastSeen = m.now()
+	m.ring.Add(id)
+	return known
+}
+
+// Heartbeat refreshes a worker's liveness and load snapshot. It
+// reports false for an unknown id — the worker must re-register (the
+// coordinator may have restarted and lost the table).
+func (m *Membership) Heartbeat(id string, stats NodeStats) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[id]
+	if !ok {
+		return false
+	}
+	n.State = NodeAlive
+	n.LastSeen = m.now()
+	n.Stats = stats
+	m.ring.Add(id)
+	return true
+}
+
+// MarkSuspect takes a node out of the ring immediately — called when a
+// forward to it fails, so the next route for its keys does not wait a
+// heartbeat timeout to move. A later heartbeat resurrects it.
+func (m *Membership) MarkSuspect(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n, ok := m.nodes[id]; ok && n.State == NodeAlive {
+		n.State = NodeSuspect
+		m.ring.Remove(id)
+	}
+}
+
+// Sweep applies heartbeat expiry: alive nodes silent past the timeout
+// turn suspect and leave the ring (their ids are returned — the
+// coordinator re-queues what they owned), suspect nodes silent past
+// deadAfter timeouts are declared dead. Call it periodically.
+func (m *Membership) Sweep() (lost []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	for id, n := range m.nodes {
+		silent := now.Sub(n.LastSeen)
+		switch n.State {
+		case NodeAlive:
+			if silent > m.timeout {
+				n.State = NodeSuspect
+				m.ring.Remove(id)
+				lost = append(lost, id)
+			}
+		case NodeSuspect:
+			if silent > deadAfter*m.timeout {
+				n.State = NodeDead
+			}
+		}
+	}
+	sort.Strings(lost)
+	return lost
+}
+
+// Snapshot returns the node table sorted by id.
+func (m *Membership) Snapshot() []NodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rows := make([]NodeInfo, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		rows = append(rows, *n)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows
+}
+
+// AliveCount returns how many nodes are in the ring.
+func (m *Membership) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.Len()
+}
+
+// Sequence returns up to max live nodes in ring order starting at
+// key's owner — the forward preference list.
+func (m *Membership) Sequence(key string, max int) []NodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := m.ring.Sequence(key, max)
+	seq := make([]NodeInfo, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := m.nodes[id]; ok {
+			seq = append(seq, *n)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,123 @@
+// Package cluster is the coordinator/worker layer of ossimd: a
+// consistent-hash ring that routes canonical result keys to owning
+// nodes (so each unique configuration is computed exactly once
+// cluster-wide), a heartbeat-based membership table that detects lost
+// workers, a wire codec that ships run configurations to peers, and
+// the worker-side agent that registers and heartbeats against the
+// coordinator.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// defaultVnodes is the number of ring points per node. 64 virtual
+// nodes keep the key split within a few percent of even for small
+// clusters without making ring rebuilds expensive.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash ring over node ids. Keys and nodes hash
+// onto the same 64-bit circle; a key is owned by the first node point
+// clockwise from it. Adding or removing one node moves only the keys
+// adjacent to its points — the property that keeps a worker loss from
+// reshuffling the whole cluster's routing.
+//
+// Not safe for concurrent use; Membership serializes access.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with vnodes points per node
+// (0 = defaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// ringHash maps a string onto the circle. SHA-256 keeps the placement
+// independent of Go's seeded map hash, so every node computes the
+// same ring from the same membership.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node's points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	var buf [10]byte
+	for i := 0; i < r.vnodes; i++ {
+		n := binary.PutUvarint(buf[:], uint64(i))
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(node + "#" + string(buf[:n])),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's points. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key, or false for an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// Sequence returns up to max distinct nodes in ring order starting at
+// key's owner — the failover preference list: when the owner is lost,
+// the next node in the sequence inherits the key, which is exactly
+// where a rebuilt ring without the owner would route it.
+func (r *Ring) Sequence(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i := 0; i < len(r.points) && len(seq) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			seq = append(seq, p.node)
+		}
+	}
+	return seq
+}

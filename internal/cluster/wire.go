@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oscachesim/internal/core"
+	"oscachesim/internal/scenario"
+	"oscachesim/internal/sim"
+	"oscachesim/internal/store"
+	"oscachesim/internal/workload"
+)
+
+// ComputePath is the internal endpoint workers serve compute forwards
+// on.
+const ComputePath = "/v1/internal/compute"
+
+// ComputeRequest is the wire form of one forwarded simulation: every
+// result-affecting field of core.RunConfig plus the coordinator's
+// canonical key, which the worker recomputes and verifies — a version
+// skew between nodes (different SimVersion, divergent config
+// serialization) fails loudly instead of poisoning the cluster's
+// content-addressed caches.
+type ComputeRequest struct {
+	Key          string         `json:"key"`
+	Workload     string         `json:"workload,omitempty"`
+	Scenario     *scenario.Spec `json:"scenario,omitempty"`
+	System       string         `json:"system"`
+	Scale        int            `json:"scale,omitempty"`
+	Seed         int64          `json:"seed,omitempty"`
+	Machine      *sim.Params    `json:"machine,omitempty"`
+	DeferredCopy bool           `json:"deferred_copy,omitempty"`
+	PureUpdate   bool           `json:"pure_update,omitempty"`
+	// UpdateSet is only meaningful when HasUpdateSet is true: nil and
+	// empty update sets are distinct configurations (see
+	// core.RunConfig.UpdateSet) and JSON cannot tell them apart alone.
+	UpdateSet    []uint64 `json:"update_set,omitempty"`
+	HasUpdateSet bool     `json:"has_update_set,omitempty"`
+	PrefDist     int      `json:"pref_dist,omitempty"`
+}
+
+// EncodeConfig renders a run configuration for forwarding. It refuses
+// configurations that cannot leave the process: an attached Monitor
+// must observe a local run, and a conflict census (TrackConflicts)
+// returns process-local data the wire format does not carry.
+func EncodeConfig(cfg core.RunConfig) (*ComputeRequest, error) {
+	if cfg.Monitor != nil {
+		return nil, errors.New("cluster: a monitored run cannot be forwarded")
+	}
+	if cfg.TrackConflicts {
+		return nil, errors.New("cluster: a conflict-census run cannot be forwarded")
+	}
+	return &ComputeRequest{
+		Key:          cfg.CanonicalKey(),
+		Workload:     string(cfg.Workload),
+		Scenario:     cfg.Scenario,
+		System:       cfg.System.String(),
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		Machine:      cfg.Machine,
+		DeferredCopy: cfg.DeferredCopy,
+		PureUpdate:   cfg.PureUpdate,
+		UpdateSet:    cfg.UpdateSet,
+		HasUpdateSet: cfg.UpdateSet != nil,
+		PrefDist:     cfg.PrefDist,
+	}, nil
+}
+
+// Config rebuilds the run configuration and verifies its canonical key
+// matches the coordinator's — the receiving side of the skew check.
+func (cr *ComputeRequest) Config() (core.RunConfig, error) {
+	sys, err := core.ParseSystem(cr.System)
+	if err != nil {
+		return core.RunConfig{}, fmt.Errorf("cluster: %w", err)
+	}
+	cfg := core.RunConfig{
+		Workload:     workload.Name(cr.Workload),
+		Scenario:     cr.Scenario,
+		System:       sys,
+		Scale:        cr.Scale,
+		Seed:         cr.Seed,
+		Machine:      cr.Machine,
+		DeferredCopy: cr.DeferredCopy,
+		PureUpdate:   cr.PureUpdate,
+		PrefDist:     cr.PrefDist,
+	}
+	if cr.HasUpdateSet {
+		cfg.UpdateSet = cr.UpdateSet
+		if cfg.UpdateSet == nil {
+			cfg.UpdateSet = []uint64{}
+		}
+	}
+	if got := cfg.CanonicalKey(); got != cr.Key {
+		return core.RunConfig{}, fmt.Errorf(
+			"cluster: key mismatch (version skew?): coordinator sent %.12s…, this node computes %.12s…",
+			cr.Key, got)
+	}
+	return cfg, nil
+}
+
+// RetryAfterError reports a worker that answered 429: it is healthy
+// but saturated, and asked to be retried after the given delay —
+// distinct from a connection failure, which marks the node suspect.
+type RetryAfterError struct {
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("cluster: worker saturated, retry after %s", e.After)
+}
+
+// Client forwards compute requests to workers.
+type Client struct {
+	// HTTP is the transport; nil uses http.DefaultClient. Deadlines
+	// come from the per-call context (the job timeout), not a global
+	// client timeout.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Compute asks the worker at baseURL to simulate one configuration and
+// returns its durable result record. A 429 maps to *RetryAfterError;
+// any transport failure or non-200 means the worker should be treated
+// as unavailable for this key.
+func (c *Client) Compute(ctx context.Context, baseURL string, creq *ComputeRequest) (*store.Record, error) {
+	body, err := json.Marshal(creq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+ComputePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: forward to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, &RetryAfterError{After: after}
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: forward to %s: %s: %s", baseURL, resp.Status, bytes.TrimSpace(snippet))
+	}
+	var rec store.Record
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("cluster: decoding %s's result: %w", baseURL, err)
+	}
+	if rec.Key != creq.Key {
+		return nil, fmt.Errorf("cluster: %s returned record %.12s… for key %.12s…", baseURL, rec.Key, creq.Key)
+	}
+	return &rec, nil
+}

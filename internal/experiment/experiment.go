@@ -47,6 +47,14 @@ type Config struct {
 	// identical to the serial engine. 0 or 1 means serial. Orthogonal
 	// to Parallel/Workers, which fan out across simulations.
 	IntraWorkers int
+	// Compute, when non-nil, replaces core.Run as the execution of a
+	// cache miss. It runs beneath the memo and singleflight layers, so
+	// a caller (the ossimd cluster mode) can extend the dedup chain —
+	// memory, then disk store, then a peer node, then a local
+	// simulation — without touching the fan-out or caching logic.
+	// Configurations carrying a Monitor still bypass it: an attached
+	// observer must see a real local run.
+	Compute func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error)
 }
 
 // DefaultConfig returns the configuration used for the published
@@ -133,6 +141,25 @@ func (r *Runner) Stats() CacheStats {
 	return r.stats
 }
 
+// SetCompute installs (or clears) the compute hook of Config.Compute
+// after construction. Call it before the Runner sees traffic: the hook
+// applies to future cache misses only.
+func (r *Runner) SetCompute(fn func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error)) {
+	r.mu.Lock()
+	r.cfg.Compute = fn
+	r.mu.Unlock()
+}
+
+// compute resolves the execution function for one cache miss.
+func (r *Runner) compute() func(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Compute != nil {
+		return r.cfg.Compute
+	}
+	return core.Run
+}
+
 // configFor is the base configuration of one (workload, system) run
 // under the Runner's scale and seed.
 func (r *Runner) configFor(w workload.Name, sys core.System) core.RunConfig {
@@ -205,7 +232,7 @@ func (r *Runner) OutcomeConfig(ctx context.Context, cfg core.RunConfig) (*core.O
 	r.stats.Executions++
 	r.mu.Unlock()
 
-	f.o, f.err = core.Run(ctx, cfg)
+	f.o, f.err = r.compute()(ctx, cfg)
 	r.mu.Lock()
 	delete(r.inflight, key)
 	if f.err == nil {

@@ -332,38 +332,41 @@ func (s *Server) handleKindStream(kind string) http.HandlerFunc {
 	}
 }
 
-// handleCampaignCancel is DELETE /v1/campaigns/{id}: a queued campaign
-// is canceled in place (200), a running one is signaled and winds down
-// with its partial cells kept (202), a terminal one is just reported
+// handleCancel is the uniform DELETE /v1/{runs,sweeps,campaigns}/{id}
+// lifecycle verb: a queued job is canceled in place (200), a running
+// one is signaled and winds down (202) — a grid keeps the cells or
+// points that already finished — and a terminal one is just reported
 // (200).
-func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.lookupKind(r.PathValue("id"), "campaign")
-	if !ok {
-		writeError(w, http.StatusNotFound, "not_found", "unknown job")
-		return
-	}
-	for {
-		switch st := job.State(); {
-		case st.terminal():
-			writeJSON(w, http.StatusOK, job.view(false))
+func (s *Server) handleCancel(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.lookupKind(r.PathValue("id"), kind)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found", "unknown job")
 			return
-		case st == JobQueued:
-			if !job.cancelQueued("canceled by client") {
-				// Lost the race with a worker: re-read the state.
-				continue
+		}
+		for {
+			switch st := job.State(); {
+			case st.terminal():
+				writeJSON(w, http.StatusOK, job.view(false))
+				return
+			case st == JobQueued:
+				if !job.cancelQueued("canceled by client") {
+					// Lost the race with a worker: re-read the state.
+					continue
+				}
+				s.mu.Lock()
+				if s.byKey[job.Key] == job {
+					delete(s.byKey, job.Key)
+				}
+				s.mu.Unlock()
+				s.metrics.jobFinished(job)
+				writeJSON(w, http.StatusOK, job.view(false))
+				return
+			default:
+				job.signalCancel()
+				writeJSON(w, http.StatusAccepted, job.view(false))
+				return
 			}
-			s.mu.Lock()
-			if s.byKey[job.Key] == job {
-				delete(s.byKey, job.Key)
-			}
-			s.mu.Unlock()
-			s.metrics.jobFinished(job)
-			writeJSON(w, http.StatusOK, job.view(false))
-			return
-		default:
-			job.signalCancel()
-			writeJSON(w, http.StatusAccepted, job.view(false))
-			return
 		}
 	}
 }

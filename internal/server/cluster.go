@@ -1,0 +1,385 @@
+package server
+
+// This file is the daemon's cluster mode: coordinator-side consistent-
+// hash routing of unique configurations to workers (each canonical key
+// computed exactly once cluster-wide), worker registration and
+// heartbeat handling, the worker-side internal compute endpoint, and
+// the dedup chain the runner executes cache misses through —
+// memory, then the durable store, then the owning peer, then a local
+// simulation.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"oscachesim/internal/cluster"
+	"oscachesim/internal/core"
+	"oscachesim/internal/store"
+)
+
+// ClusterOptions configures a node's cluster role.
+type ClusterOptions struct {
+	// NodeID is this node's stable identity (ring placement, node
+	// table). Defaults to "ossimd".
+	NodeID string
+	// Coordinator makes this node route compute: it owns the
+	// membership table, accepts worker registrations, and forwards
+	// each unique configuration to the worker owning its key.
+	Coordinator bool
+	// HeartbeatTimeout is how long a worker may stay silent before the
+	// coordinator routes around it (default 3s). Workers are told to
+	// heartbeat at a third of it.
+	HeartbeatTimeout time.Duration
+	// HTTP overrides the forwarding transport (tests).
+	HTTP *http.Client
+}
+
+// clusterState is the server's cluster runtime: membership (coordinator
+// only), the forwarding client, and the worker-side compute gate.
+type clusterState struct {
+	opts    ClusterOptions
+	members *cluster.Membership // nil unless coordinator
+	client  cluster.Client
+	// computeGate bounds concurrently executing forwarded computes on
+	// this node; an acquired token is a promise of prompt service, an
+	// exhausted gate answers 429 + Retry-After like the job queue.
+	computeGate chan struct{}
+	// stopSweep ends the coordinator's membership sweeper.
+	stopSweep chan struct{}
+}
+
+// newClusterState builds the runtime for the configured role.
+func newClusterState(opts ClusterOptions, workers, queueDepth int) *clusterState {
+	if opts.NodeID == "" {
+		opts.NodeID = "ossimd"
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 3 * time.Second
+	}
+	cs := &clusterState{
+		opts:        opts,
+		client:      cluster.Client{HTTP: opts.HTTP},
+		computeGate: make(chan struct{}, workers+queueDepth),
+		stopSweep:   make(chan struct{}),
+	}
+	if opts.Coordinator {
+		cs.members = cluster.NewMembership(opts.HeartbeatTimeout)
+	}
+	return cs
+}
+
+// forwardFanout bounds how many ring owners a key is tried on before
+// the coordinator computes it locally.
+const forwardFanout = 3
+
+// forwardRetries bounds 429-backoff retries against one saturated
+// worker before moving to the next ring owner.
+const forwardRetries = 3
+
+// computeOutcome is the runner's compute hook: the tail of the dedup
+// chain after the in-memory memo misses. Disk first, then the owning
+// peer, then a local simulation — whose result is persisted so the
+// next process (or node) finds it.
+func (s *Server) computeOutcome(ctx context.Context, cfg core.RunConfig) (*core.Outcome, error) {
+	key := cfg.CanonicalKey()
+	if rec := s.store.Get(key); rec != nil {
+		if o, err := rec.Outcome(); err == nil {
+			s.metrics.storeHits.Inc()
+			return o, nil
+		}
+	}
+	if cl := s.cluster; cl != nil && cl.members != nil {
+		if o, ok := s.forwardCompute(ctx, key, cfg); ok {
+			return o, nil
+		}
+	}
+	o, err := core.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.localExecs.Add(1)
+	_ = s.store.Put(store.RecordOf(key, o))
+	return o, nil
+}
+
+// forwardCompute routes one configuration to the workers owning its
+// key, walking the ring's failover sequence: a saturated worker (429)
+// is retried after its Retry-After, an unreachable one is marked
+// suspect — taking it out of the ring for every future key — and the
+// work re-queues to the next owner. Exhausting the sequence falls back
+// to local computation; ok=false means "compute it here".
+func (s *Server) forwardCompute(ctx context.Context, key string, cfg core.RunConfig) (*core.Outcome, bool) {
+	creq, err := cluster.EncodeConfig(cfg)
+	if err != nil {
+		// Monitored / conflict-census configurations are process-local
+		// by construction.
+		return nil, false
+	}
+	cl := s.cluster
+	seq := cl.members.Sequence(key, forwardFanout)
+	if len(seq) == 0 {
+		return nil, false
+	}
+	s.metrics.clusterRouted.Inc()
+	for i, node := range seq {
+		rec, err := s.forwardToNode(ctx, node.Addr, creq)
+		if err == nil {
+			if o, oerr := rec.Outcome(); oerr == nil {
+				_ = s.store.Put(rec)
+				s.metrics.clusterForwarded.Inc()
+				return o, true
+			}
+			return nil, false
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		// The owner is gone or persistently saturated: route around it.
+		cl.members.MarkSuspect(node.ID)
+		if i < len(seq)-1 {
+			s.metrics.clusterRequeued.Inc()
+		}
+		if l := s.opts.Logger; l != nil {
+			l.Warn("compute forward failed, re-queueing",
+				"node", node.ID, "addr", node.Addr, "key", key[:12], "err", err)
+		}
+	}
+	return nil, false
+}
+
+// forwardToNode tries one worker, absorbing bounded 429 backpressure.
+func (s *Server) forwardToNode(ctx context.Context, addr string, creq *cluster.ComputeRequest) (*store.Record, error) {
+	var lastErr error
+	for attempt := 0; attempt < forwardRetries; attempt++ {
+		rec, err := s.cluster.client.Compute(ctx, addr, creq)
+		if err == nil {
+			return rec, nil
+		}
+		lastErr = err
+		var ra *cluster.RetryAfterError
+		if !errors.As(err, &ra) {
+			return nil, err
+		}
+		t := time.NewTimer(ra.After)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, context.Cause(ctx)
+		}
+	}
+	return nil, lastErr
+}
+
+// sweeper expires silent workers periodically (coordinator only).
+func (s *Server) sweeper() {
+	cl := s.cluster
+	tick := time.NewTicker(cl.opts.HeartbeatTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for _, id := range cl.members.Sweep() {
+				if l := s.opts.Logger; l != nil {
+					l.Warn("worker lost (heartbeat timeout); its keys re-route", "node", id)
+				}
+			}
+		case <-cl.stopSweep:
+			return
+		}
+	}
+}
+
+// nodeStats snapshots this node's load for heartbeats and the cluster
+// view.
+func (s *Server) nodeStats() cluster.NodeStats {
+	return cluster.NodeStats{
+		QueueDepth:   len(s.queue),
+		StoreRecords: s.store.Len(),
+		Executions:   s.localExecs.Load(),
+	}
+}
+
+// ClusterStats is the agent's heartbeat payload source for cmd/ossimd.
+func (s *Server) ClusterStats() cluster.NodeStats { return s.nodeStats() }
+
+// --- HTTP handlers ---------------------------------------------------
+
+// ClusterNode is one row of GET /v1/cluster's node table.
+type ClusterNode struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr,omitempty"`
+	Role  string `json:"role"` // "coordinator", "worker" or "single"
+	State string `json:"state"`
+	// LastSeen is the last heartbeat (workers only).
+	LastSeen   *time.Time `json:"last_seen,omitempty"`
+	QueueDepth int        `json:"queue_depth"`
+	// Executions counts simulations this node actually ran — summed
+	// across the table it audits the exactly-once invariant.
+	Executions uint64 `json:"executions"`
+	// Store is the node's result-store state. For remote workers only
+	// the record count is known (it travels in heartbeats).
+	Store store.Stats `json:"store"`
+}
+
+// ClusterView is the body of GET /v1/cluster.
+type ClusterView struct {
+	Self ClusterNode `json:"self"`
+	// Nodes is the coordinator's worker table (empty on workers and
+	// single-node daemons).
+	Nodes []ClusterNode `json:"nodes"`
+}
+
+// handleClusterView serves the node table. It answers on every node —
+// a worker or single-node daemon reports itself with an empty table —
+// so operators can point the same tooling anywhere.
+func (s *Server) handleClusterView(w http.ResponseWriter, r *http.Request) {
+	self := ClusterNode{
+		ID:         "ossimd",
+		Role:       "single",
+		State:      string(cluster.NodeAlive),
+		QueueDepth: len(s.queue),
+		Executions: s.localExecs.Load(),
+		Store:      s.store.Stats(),
+	}
+	view := ClusterView{Nodes: []ClusterNode{}}
+	if cl := s.cluster; cl != nil {
+		self.ID = cl.opts.NodeID
+		if cl.members != nil {
+			self.Role = "coordinator"
+			for _, n := range cl.members.Snapshot() {
+				ls := n.LastSeen
+				view.Nodes = append(view.Nodes, ClusterNode{
+					ID:         n.ID,
+					Addr:       n.Addr,
+					Role:       "worker",
+					State:      string(n.State),
+					LastSeen:   &ls,
+					QueueDepth: n.Stats.QueueDepth,
+					Executions: n.Stats.Executions,
+					Store:      store.Stats{Records: n.Stats.StoreRecords},
+				})
+			}
+		} else {
+			self.Role = "worker"
+		}
+	}
+	view.Self = self
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleClusterRegister is POST /v1/cluster/nodes: a worker joining
+// (or rejoining) the cluster. Only a coordinator keeps a table.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	cl := s.cluster
+	if cl == nil || cl.members == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "this node is not a coordinator")
+		return
+	}
+	var req cluster.RegisterRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.clientError(w, err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "registration needs id and addr")
+		return
+	}
+	known := cl.members.Register(req.ID, req.Addr)
+	s.metrics.ensureNodeGauges(req.ID)
+	if l := s.opts.Logger; l != nil {
+		l.Info("worker registered", "node", req.ID, "addr", req.Addr, "known", known)
+	}
+	writeJSON(w, http.StatusOK, cluster.RegisterResponse{
+		Known:       known,
+		HeartbeatMS: (cl.opts.HeartbeatTimeout / 3).Milliseconds(),
+	})
+}
+
+// handleClusterHeartbeat is POST /v1/cluster/nodes/{id}/heartbeat. An
+// unknown id answers 404 — the signal that the coordinator restarted
+// and the worker must re-register.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	cl := s.cluster
+	if cl == nil || cl.members == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "this node is not a coordinator")
+		return
+	}
+	var stats cluster.NodeStats
+	if err := decodeJSON(r.Body, &stats); err != nil {
+		s.clientError(w, err)
+		return
+	}
+	if !cl.members.Heartbeat(r.PathValue("id"), stats) {
+		writeError(w, http.StatusNotFound, "not_found", "unknown node; re-register")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleInternalCompute is POST /v1/internal/compute: the worker side
+// of a coordinator forward. The configuration executes through this
+// node's own dedup chain (memo, disk, simulate), so a re-forwarded key
+// costs nothing; the response is the durable result record. The gate
+// bounds concurrent forwarded work the same way the queue bounds jobs,
+// and an exhausted gate answers 429 with Retry-After — backpressure
+// the coordinator honors by backing off or re-routing.
+func (s *Server) handleInternalCompute(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server draining")
+		return
+	}
+	var creq cluster.ComputeRequest
+	if err := decodeJSON(r.Body, &creq); err != nil {
+		s.clientError(w, err)
+		return
+	}
+	cfg, err := creq.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	gate := s.computeGate()
+	select {
+	case gate <- struct{}{}:
+		defer func() { <-gate }()
+	default:
+		s.metrics.rejectedHit()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue_full", "compute capacity exhausted, retry later")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.JobTimeout)
+	defer cancel()
+	o, err := s.run(ctx, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	rec := s.store.Get(creq.Key)
+	if rec == nil {
+		// The chain stores every local execution; a miss here means the
+		// test seam or a shared runner computed it — record it now.
+		rec = store.RecordOf(creq.Key, o)
+		_ = s.store.Put(rec)
+	}
+	s.metrics.clusterServed.Inc()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// computeGate returns the forwarded-compute token pool, building a
+// default one for servers constructed without cluster options (the
+// endpoint is always routable).
+func (s *Server) computeGate() chan struct{} {
+	if s.cluster != nil {
+		return s.cluster.computeGate
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fallbackGate == nil {
+		s.fallbackGate = make(chan struct{}, s.opts.Workers+s.opts.QueueDepth)
+	}
+	return s.fallbackGate
+}

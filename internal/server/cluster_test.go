@@ -1,0 +1,249 @@
+package server
+
+// In-process cluster tests: a coordinator plus real worker daemons
+// wired over httptest, exercising registration, consistent-hash
+// forwarding, the cluster-wide exactly-once invariant, and re-queueing
+// to survivors when a worker dies.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterHarness is one coordinator with registered workers.
+type clusterHarness struct {
+	coord   *Server
+	coordTS *httptest.Server
+	workers []*Server
+	wsrv    []*httptest.Server
+}
+
+// newCluster builds a coordinator and n workers, registering each
+// worker over the wire like cmd/ossimd's agent would.
+func newCluster(t *testing.T, n int) *clusterHarness {
+	t.Helper()
+	h := &clusterHarness{}
+	h.coord, h.coordTS = newTestServer(t, Options{
+		Workers: 2, QueueDepth: 16,
+		Cluster: &ClusterOptions{NodeID: "coord", Coordinator: true, HeartbeatTimeout: time.Hour},
+	})
+	for i := 0; i < n; i++ {
+		w, wts := newTestServer(t, Options{
+			Workers: 2, QueueDepth: 16,
+			Cluster: &ClusterOptions{NodeID: fmt.Sprintf("w%d", i+1)},
+		})
+		h.workers = append(h.workers, w)
+		h.wsrv = append(h.wsrv, wts)
+		h.register(t, fmt.Sprintf("w%d", i+1), wts.URL)
+	}
+	return h
+}
+
+func (h *clusterHarness) register(t *testing.T, id, addr string) {
+	t.Helper()
+	body := fmt.Sprintf(`{"id":%q,"addr":%q}`, id, addr)
+	resp, err := http.Post(h.coordTS.URL+"/v1/cluster/nodes", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: HTTP %d", id, resp.StatusCode)
+	}
+}
+
+// totalExecs sums actual simulation executions across the cluster.
+func (h *clusterHarness) totalExecs() uint64 {
+	total := h.coord.localExecs.Load()
+	for _, w := range h.workers {
+		total += w.localExecs.Load()
+	}
+	return total
+}
+
+// TestClusterExactlyOnce drives a coordinator with duplicate-heavy
+// load and audits the tentpole invariant: every unique canonical key
+// is simulated exactly once cluster-wide, on a worker — never on the
+// coordinator — and the coordinator's store ends up holding every
+// result.
+func TestClusterExactlyOnce(t *testing.T) {
+	h := newCluster(t, 2)
+	const uniqueSeeds = 4
+	var ids []string
+	for i := 0; i < uniqueSeeds*3; i++ { // 3 duplicates of each seed
+		status, sub, _ := postJSON(t, h.coordTS.URL+"/v1/runs", runBody(int64(1+i%uniqueSeeds)))
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d", i, status)
+		}
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		if v := waitJob(t, h.coordTS.URL, id); v.State != JobDone {
+			t.Fatalf("job %s finished %s (%s)", id, v.State, v.Error)
+		}
+	}
+	if got := h.coord.localExecs.Load(); got != 0 {
+		t.Errorf("coordinator executed %d simulations locally, want 0 (all forwarded)", got)
+	}
+	if got := h.totalExecs(); got != uniqueSeeds {
+		t.Errorf("cluster executed %d simulations, want exactly %d", got, uniqueSeeds)
+	}
+	// Both workers should own a share of a 4-key space with high
+	// probability; at minimum the work went somewhere remote.
+	if h.workers[0].localExecs.Load()+h.workers[1].localExecs.Load() != uniqueSeeds {
+		t.Errorf("worker split %d/%d, want total %d",
+			h.workers[0].localExecs.Load(), h.workers[1].localExecs.Load(), uniqueSeeds)
+	}
+	if got := h.coord.store.Len(); got < uniqueSeeds {
+		t.Errorf("coordinator store holds %d records, want >= %d", got, uniqueSeeds)
+	}
+	if got := h.coord.metrics.clusterForwarded.Value(); got != uniqueSeeds {
+		t.Errorf("forwarded counter %d, want %d", got, uniqueSeeds)
+	}
+}
+
+// TestClusterReroutesOnWorkerLoss kills one worker and shows its keys
+// re-queue to the survivor: the grid completes, the dead node is
+// marked suspect, and no key is lost.
+func TestClusterReroutesOnWorkerLoss(t *testing.T) {
+	h := newCluster(t, 2)
+	// Kill w1's listener: forwards to it now fail at the transport.
+	h.wsrv[0].Close()
+
+	// Enough unique keys that the consistent-hash ring assigns the
+	// dead node a share: its keys must re-route to the survivor.
+	const uniqueSeeds = 10
+	var ids []string
+	for seed := int64(1); seed <= uniqueSeeds; seed++ {
+		status, sub, _ := postJSON(t, h.coordTS.URL+"/v1/runs", runBody(seed))
+		if status != http.StatusAccepted {
+			t.Fatalf("seed %d: HTTP %d", seed, status)
+		}
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		if v := waitJob(t, h.coordTS.URL, id); v.State != JobDone {
+			t.Fatalf("job %s finished %s (%s), want done despite the dead worker", id, v.State, v.Error)
+		}
+	}
+	if got := h.totalExecs(); got != uniqueSeeds {
+		t.Errorf("cluster executed %d simulations for %d unique keys, want %d", got, uniqueSeeds, uniqueSeeds)
+	}
+	// The dead node executed nothing; the survivor (and the
+	// coordinator, as last resort) absorbed its keys.
+	if got := h.workers[0].localExecs.Load(); got != 0 {
+		t.Errorf("dead worker executed %d simulations", got)
+	}
+	if got := h.coord.metrics.clusterRequeued.Value(); got == 0 {
+		t.Error("no re-queues recorded, expected the dead node's keys to fail over")
+	}
+	// The coordinator noticed: w1 left the ring.
+	var view ClusterView
+	resp, err := http.Get(h.coordTS.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, n := range view.Nodes {
+		if n.ID == "w1" && n.State == "alive" {
+			t.Error("dead worker still marked alive after failed forwards")
+		}
+	}
+}
+
+// TestClusterMembershipAPI pins the registration/heartbeat wire
+// contract and the /v1/cluster node table.
+func TestClusterMembershipAPI(t *testing.T) {
+	h := newCluster(t, 1)
+
+	// Re-registration reports known=true.
+	body := fmt.Sprintf(`{"id":"w1","addr":%q}`, h.wsrv[0].URL)
+	resp, err := http.Post(h.coordTS.URL+"/v1/cluster/nodes", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		Known       bool  `json:"known"`
+		HeartbeatMS int64 `json:"heartbeat_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reg.Known || reg.HeartbeatMS <= 0 {
+		t.Fatalf("re-register: %+v, want known with a heartbeat period", reg)
+	}
+
+	// Heartbeats refresh stats; unknown nodes are told to re-register.
+	hb := func(id, stats string) int {
+		t.Helper()
+		resp, err := http.Post(h.coordTS.URL+"/v1/cluster/nodes/"+id+"/heartbeat",
+			"application/json", strings.NewReader(stats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := hb("w1", `{"queue_depth":7,"store_records":3,"executions":2}`); got != http.StatusOK {
+		t.Fatalf("heartbeat: HTTP %d", got)
+	}
+	if got := hb("ghost", `{}`); got != http.StatusNotFound {
+		t.Fatalf("unknown heartbeat: HTTP %d, want 404", got)
+	}
+
+	// The node table reflects the heartbeat payload.
+	var view ClusterView
+	vr, err := http.Get(h.coordTS.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(vr.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	vr.Body.Close()
+	if view.Self.Role != "coordinator" || view.Self.ID != "coord" {
+		t.Fatalf("self row %+v", view.Self)
+	}
+	if len(view.Nodes) != 1 || view.Nodes[0].ID != "w1" ||
+		view.Nodes[0].QueueDepth != 7 || view.Nodes[0].Executions != 2 ||
+		view.Nodes[0].Store.Records != 3 {
+		t.Fatalf("node table %+v", view.Nodes)
+	}
+
+	// Workers and single daemons answer /v1/cluster about themselves,
+	// and refuse the coordinator-only membership endpoints.
+	wr, err := http.Get(h.wsrv[0].URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wview ClusterView
+	if err := json.NewDecoder(wr.Body).Decode(&wview); err != nil {
+		t.Fatal(err)
+	}
+	wr.Body.Close()
+	if wview.Self.Role != "worker" || len(wview.Nodes) != 0 {
+		t.Fatalf("worker self view %+v", wview)
+	}
+	resp, err = http.Post(h.wsrv[0].URL+"/v1/cluster/nodes", "application/json",
+		strings.NewReader(`{"id":"x","addr":"http://nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("register against a worker: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -45,7 +45,7 @@ func TestRoutesMatchContract(t *testing.T) {
 			continue
 		}
 		switch fields[0] {
-		case "GET", "POST", "PUT", "PATCH", "DELETE":
+		case "GET", "HEAD", "POST", "PUT", "PATCH", "DELETE":
 			if !registered[span] {
 				t.Errorf("API.md documents %q but the server does not register it", span)
 			}

@@ -79,7 +79,7 @@ type Job struct {
 	grid       []report.GridCell
 	stages     *StageView
 	pointsDone int
-	// cancelFn aborts a running campaign's context; cancelAsked records
+	// cancelFn aborts the running job's context; cancelAsked records
 	// a DELETE that raced ahead of the worker arming it.
 	cancelFn    context.CancelCauseFunc
 	cancelAsked bool
@@ -130,33 +130,45 @@ func (j *Job) setRunning() (time.Duration, bool) {
 	return j.started.Sub(j.created), true
 }
 
-// finishRun completes a run job.
+// finishRun completes a run job. A client cancellation
+// (errClientCanceled) lands in state "canceled"; any other error fails
+// the job.
 func (j *Job) finishRun(res *RunResult, stages *StageView, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
-		j.state = JobFailed
-		j.err = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.state = JobDone
 		j.result = res
 		j.stages = stages
+	case errors.Is(err, errClientCanceled):
+		j.state = JobCanceled
+		j.err = err.Error()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
 	}
 	j.mu.Unlock()
 	close(j.done)
 }
 
-// finishSweep completes a sweep job.
+// finishSweep completes a sweep job. A client cancellation keeps the
+// points that finished before the cancel (res may be partial).
 func (j *Job) finishSweep(res *SweepResult, stages *StageView, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
-		j.state = JobFailed
-		j.err = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.state = JobDone
 		j.sweep = res
 		j.stages = stages
+	case errors.Is(err, errClientCanceled):
+		j.state = JobCanceled
+		j.err = err.Error()
+		j.sweep = res
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
 	}
 	j.mu.Unlock()
 	close(j.done)
@@ -212,8 +224,8 @@ func (j *Job) cancelQueued(reason string) bool {
 	return true
 }
 
-// armCancel installs the running campaign's cancel function. A DELETE
-// that arrived before the worker armed it fires immediately.
+// armCancel installs the running job's cancel function. A DELETE that
+// arrived before the worker armed it fires immediately.
 func (j *Job) armCancel(fn context.CancelCauseFunc) {
 	j.mu.Lock()
 	j.cancelFn = fn
@@ -224,7 +236,7 @@ func (j *Job) armCancel(fn context.CancelCauseFunc) {
 	}
 }
 
-// signalCancel asks a running campaign to stop (or records the ask for
+// signalCancel asks a running job to stop (or records the ask for
 // armCancel if the worker has not armed cancellation yet).
 func (j *Job) signalCancel() {
 	j.mu.Lock()
@@ -370,6 +382,10 @@ type JobView struct {
 	// Stages is the completed job's wall-clock decomposition; for a
 	// deduplicated job it reports the execution that actually ran.
 	Stages *StageView `json:"stages,omitempty"`
+	// ResultURL is the durable result document's address
+	// (/v1/results/{key}), present once the job is done — it keeps
+	// answering after this job ages out or the daemon restarts.
+	ResultURL string `json:"result_url,omitempty"`
 	// QueueWaitSeconds is the time the job spent queued before a worker
 	// picked it up (present once the job has started).
 	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
@@ -402,6 +418,9 @@ func (j *Job) view(deduped bool) *JobView {
 		Campaign:  j.camp,
 		Stages:    j.stages,
 		Error:     j.err,
+	}
+	if j.state == JobDone {
+		v.ResultURL = "/v1/results/" + j.Key
 	}
 	if !j.started.IsZero() {
 		t := j.started

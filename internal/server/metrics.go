@@ -48,6 +48,11 @@ type metrics struct {
 	deduped, rejected              *obs.Counter
 	campaignCells                  *obs.Counter
 	campaignCellsDeduped           *obs.Counter
+	storeHits, storeServed         *obs.Counter
+	clusterRouted                  *obs.Counter
+	clusterForwarded               *obs.Counter
+	clusterRequeued                *obs.Counter
+	clusterServed                  *obs.Counter
 	running                        expvar.Int
 
 	campaignDur *obs.Histogram
@@ -72,6 +77,18 @@ func newMetrics(s *Server) *metrics {
 		"grid cells served by completed campaigns")
 	mt.campaignCellsDeduped = mt.reg.Counter("ossimd_campaign_cells_deduped_total",
 		"campaign cells credited from another cell's simulation")
+	mt.storeHits = mt.reg.Counter("ossimd_store_hits_total",
+		"cache misses answered by the durable result store")
+	mt.storeServed = mt.reg.Counter("ossimd_store_served_jobs_total",
+		"submitted jobs materialized terminal straight from the store")
+	mt.clusterRouted = mt.reg.Counter("ossimd_cluster_routed_total",
+		"unique configurations routed to the ring")
+	mt.clusterForwarded = mt.reg.Counter("ossimd_cluster_forwarded_total",
+		"configurations computed by a peer on our behalf")
+	mt.clusterRequeued = mt.reg.Counter("ossimd_cluster_requeued_total",
+		"forwards re-queued to the next ring owner after a node failure")
+	mt.clusterServed = mt.reg.Counter("ossimd_cluster_compute_served_total",
+		"forwarded compute requests this node answered")
 
 	mt.reg.GaugeFunc("ossimd_queue_depth", "current FIFO occupancy",
 		func() float64 { return float64(len(s.queue)) })
@@ -89,6 +106,19 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return mt.hitRatio() })
 	mt.reg.GaugeFunc("ossimd_sim_seconds_served", "total simulated seconds of completed jobs",
 		func() float64 { mt.mu.Lock(); defer mt.mu.Unlock(); return mt.simSeconds.Value() })
+	mt.reg.GaugeFunc("ossimd_store_records", "distinct keys in the durable result store",
+		func() float64 { return float64(s.store.Len()) })
+	mt.reg.GaugeFunc("ossimd_store_replay_skipped", "corrupt or truncated records skipped at boot replay",
+		func() float64 {
+			st := s.store.Stats()
+			return float64(st.SkippedCorrupt + st.SkippedTruncated)
+		})
+	mt.reg.GaugeFunc("ossimd_local_executions", "simulations this process actually ran",
+		func() float64 { return float64(s.localExecs.Load()) })
+	if s.cluster != nil && s.cluster.members != nil {
+		mt.reg.GaugeFunc("ossimd_cluster_nodes", "workers currently in the ring",
+			func() float64 { return float64(s.cluster.members.AliveCount()) })
+	}
 
 	mt.queueWait = mt.reg.Histogram("ossimd_queue_wait_seconds",
 		"time a job spent queued before a worker picked it up", obs.DurationBuckets())
@@ -117,6 +147,20 @@ func newMetrics(s *Server) *metrics {
 	mt.m.Set("cache_misses", expvar.Func(func() any { return s.runner.Stats().Executions }))
 	mt.m.Set("cache_hit_ratio", expvar.Func(func() any { return mt.hitRatio() }))
 	mt.m.Set("sim_seconds_served", &mt.simSeconds)
+	mt.m.Set("store_records", expvar.Func(func() any { return s.store.Len() }))
+	mt.m.Set("store_hits", expvar.Func(func() any { return mt.storeHits.Value() }))
+	mt.m.Set("store_served_jobs", expvar.Func(func() any { return mt.storeServed.Value() }))
+	mt.m.Set("local_executions", expvar.Func(func() any { return s.localExecs.Load() }))
+	mt.m.Set("cluster_routed", expvar.Func(func() any { return mt.clusterRouted.Value() }))
+	mt.m.Set("cluster_forwarded", expvar.Func(func() any { return mt.clusterForwarded.Value() }))
+	mt.m.Set("cluster_requeued", expvar.Func(func() any { return mt.clusterRequeued.Value() }))
+	mt.m.Set("cluster_compute_served", expvar.Func(func() any { return mt.clusterServed.Value() }))
+	mt.m.Set("cluster_nodes", expvar.Func(func() any {
+		if s.cluster == nil || s.cluster.members == nil {
+			return 0
+		}
+		return s.cluster.members.AliveCount()
+	}))
 	return mt
 }
 
@@ -140,6 +184,43 @@ func (mt *metrics) hitRatio() float64 {
 func (mt *metrics) jobQueued()   { mt.queued.Inc() }
 func (mt *metrics) dedupHit()    { mt.deduped.Inc() }
 func (mt *metrics) rejectedHit() { mt.rejected.Inc() }
+
+// jobServedFromStore records a submitted job the durable store
+// answered: it finished without ever running, so it counts as a dedup
+// hit and a completion but never touches the running gauge.
+func (mt *metrics) jobServedFromStore(j *Job) {
+	mt.deduped.Inc()
+	mt.storeServed.Inc()
+	mt.done.Inc()
+	mt.mu.Lock()
+	mt.simSeconds.Set(mt.simSeconds.Value() + j.simSeconds())
+	mt.mu.Unlock()
+}
+
+// ensureNodeGauges registers the per-node cluster gauges on first
+// registration of a worker id (the registry dedupes by series, so
+// re-registration is a no-op and the first closure stays installed).
+func (mt *metrics) ensureNodeGauges(id string) {
+	members := mt.srv.cluster.members
+	mt.reg.GaugeFunc("ossimd_cluster_node_queue_depth",
+		"last reported job-queue depth, by worker", func() float64 {
+			for _, n := range members.Snapshot() {
+				if n.ID == id {
+					return float64(n.Stats.QueueDepth)
+				}
+			}
+			return 0
+		}, obs.L("node", id))
+	mt.reg.GaugeFunc("ossimd_cluster_node_executions",
+		"last reported simulation executions, by worker", func() float64 {
+			for _, n := range members.Snapshot() {
+				if n.ID == id {
+					return float64(n.Stats.Executions)
+				}
+			}
+			return 0
+		}, obs.L("node", id))
+}
 
 func (mt *metrics) jobStarted(queueWait time.Duration) {
 	mt.running.Add(1)

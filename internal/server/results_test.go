@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"oscachesim/internal/cluster"
+	"oscachesim/internal/core"
+	"oscachesim/internal/store"
+)
+
+// TestResultsResource pins the /v1/results contract: a done job links
+// its durable document via result_url, GET serves it, HEAD probes it
+// without a body, and an unknown key 404s with the uniform envelope.
+func TestResultsResource(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+	_, sub, _ := postJSON(t, ts.URL+"/v1/runs", runBody(41))
+	v := waitJob(t, ts.URL, sub.ID)
+	if v.State != JobDone {
+		t.Fatalf("job finished %s", v.State)
+	}
+	if v.ResultURL != "/v1/results/"+v.Key {
+		t.Fatalf("result_url %q, want /v1/results/%s", v.ResultURL, v.Key)
+	}
+
+	resp, err := http.Get(ts.URL + v.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: HTTP %d", resp.StatusCode)
+	}
+	var rv ResultView
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Key != v.Key || rv.Kind != "run" || rv.SimVersion != core.SimVersion {
+		t.Fatalf("result identity: %+v", rv)
+	}
+	if rv.Result == nil || rv.Result.Refs != v.Result.Refs || rv.Result.Cycles != v.Result.Cycles {
+		t.Fatalf("stored result drifted from the job's: %+v vs %+v", rv.Result, v.Result)
+	}
+
+	// HEAD: same status, no body.
+	req, _ := http.NewRequest(http.MethodHead, ts.URL+v.ResultURL, nil)
+	hres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD result: HTTP %d", hres.StatusCode)
+	}
+
+	// Unknown key: 404 with the uniform envelope on GET, bare 404 on HEAD.
+	gres, err := http.Get(ts.URL + "/v1/results/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(gres.Body)
+	gres.Body.Close()
+	if gres.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown result: HTTP %d", gres.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != "not_found" {
+		t.Fatalf("unknown-key envelope %s (err %v)", body, err)
+	}
+	req, _ = http.NewRequest(http.MethodHead, ts.URL+"/v1/results/nope", nil)
+	hres, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD unknown result: HTTP %d", hres.StatusCode)
+	}
+}
+
+// TestRestartServesFromStore is the crash-recovery contract: a daemon
+// restarted over the same store directory answers previously computed
+// runs, sweeps and campaigns terminal with "deduped": true and zero
+// simulation.
+func TestRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	runReq := runBody(77)
+	sweepReq := fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base","Blk_Dma"],"sizes_kb":[16,32],"scale":%d,"seed":2}`, testScale)
+	campReq := fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base","BCPref"],"scale":%d,"seed":3}`, testScale)
+
+	st1, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, Store: st1})
+	var keys []string
+	for path, body := range map[string]string{
+		"/v1/runs": runReq, "/v1/sweeps": sweepReq, "/v1/campaigns": campReq,
+	} {
+		_, sub, _ := postJSON(t, ts1.URL+path, body)
+		if v := waitJob(t, ts1.URL, sub.ID); v.State != JobDone {
+			t.Fatalf("%s job finished %s (%s)", path, v.State, v.Error)
+		}
+		keys = append(keys, sub.Key)
+	}
+	firstExecs := s1.localExecs.Load()
+	if firstExecs == 0 {
+		t.Fatal("first daemon executed nothing?")
+	}
+	ts1.Close()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted daemon: fresh process state, same directory.
+	st2, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().Replayed < 3 {
+		t.Fatalf("replayed %d records, want >= 3 (run, sweep, campaign)", st2.Stats().Replayed)
+	}
+	s2, ts2 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, Store: st2})
+	for path, body := range map[string]string{
+		"/v1/runs": runReq, "/v1/sweeps": sweepReq, "/v1/campaigns": campReq,
+	} {
+		status, sub, _ := postJSON(t, ts2.URL+path, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s resubmit: HTTP %d, want 200 (deduped)", path, status)
+		}
+		if !sub.Deduped || sub.State != JobDone {
+			t.Fatalf("%s resubmit: deduped=%v state=%s, want a terminal dedup", path, sub.Deduped, sub.State)
+		}
+		switch path {
+		case "/v1/runs":
+			if sub.Result == nil || sub.Result.Cycles == 0 {
+				t.Fatalf("run served from store has no result: %+v", sub)
+			}
+		case "/v1/sweeps":
+			if sub.Sweep == nil || len(sub.Sweep.Points) != 4 {
+				t.Fatalf("sweep served from store has %d points, want 4", len(sub.Sweep.Points))
+			}
+		case "/v1/campaigns":
+			if sub.Campaign == nil || sub.Campaign.CellsDone != 2 {
+				t.Fatalf("campaign served from store: %+v", sub.Campaign)
+			}
+		}
+	}
+	if got := s2.localExecs.Load(); got != 0 {
+		t.Fatalf("restarted daemon executed %d simulations, want 0", got)
+	}
+	// The stored keys answer directly too.
+	for _, key := range keys {
+		resp, err := http.Get(ts2.URL + "/v1/results/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/results/%s after restart: HTTP %d", key, resp.StatusCode)
+		}
+	}
+	// The campaign's report survives the restart (Plan is rebuilt from
+	// the request, the grid from the store).
+	var campID string
+	_, sub, _ := postJSON(t, ts2.URL+"/v1/campaigns", campReq)
+	campID = sub.ID
+	resp, err := http.Get(ts2.URL + "/v1/campaigns/" + campID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report after restart: HTTP %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestEvery429CarriesRetryAfter audits backpressure uniformly: every
+// path that can answer 429 — run, sweep and campaign submission plus
+// the forwarded-compute endpoint — must advertise Retry-After.
+func TestEvery429CarriesRetryAfter(t *testing.T) {
+	started := make(chan string, 16)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	doRelease := func() { releaseOnce.Do(func() { close(release) }) }
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 1,
+		execute:    blockingHook(started, release),
+	})
+	defer doRelease()
+
+	// Fill the worker and the queue.
+	if status, _, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1)); status != http.StatusAccepted {
+		t.Fatalf("filler 1: HTTP %d", status)
+	}
+	<-started
+	if status, _, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2)); status != http.StatusAccepted {
+		t.Fatalf("filler 2: HTTP %d", status)
+	}
+
+	submits := []struct {
+		name, path, body string
+	}{
+		{"run", "/v1/runs", runBody(3)},
+		{"sweep", "/v1/sweeps", fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16,32],"scale":%d}`, testScale)},
+		{"campaign", "/v1/campaigns", fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base","BCPref"],"scale":%d}`, testScale)},
+	}
+	for _, tc := range submits {
+		status, _, hdr := postJSON(t, ts.URL+tc.path, tc.body)
+		if status != http.StatusTooManyRequests {
+			t.Errorf("%s: HTTP %d, want 429", tc.name, status)
+			continue
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Errorf("%s: 429 without Retry-After", tc.name)
+		}
+	}
+
+	// The forwarded-compute path: its gate is Workers+QueueDepth = 2
+	// tokens; two blocked computes exhaust it and the third 429s.
+	creq, err := cluster.EncodeConfig(core.RunConfig{Workload: "TRFD_4", System: core.Base, Scale: testScale, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(creq)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+cluster.ComputePath, "application/json", strings.NewReader(string(raw)))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		<-started
+	}
+	resp, err := http.Post(ts.URL+cluster.ComputePath, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("compute overflow: HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("compute 429 without Retry-After")
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != "queue_full" {
+		t.Errorf("compute 429 envelope %s (err %v)", body, err)
+	}
+	doRelease() // the blocked computes can finish now
+	wg.Wait()
+}
+
+// TestCancelRunAndSweep pins the uniform DELETE lifecycle on the two
+// kinds that gained it: queued → canceled in place (200), running →
+// signaled and wound down (202 then terminal "canceled"), terminal →
+// reported as-is (200), unknown or wrong-kind id → 404.
+func TestCancelRunAndSweep(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 4,
+		execute:    blockingHook(started, release),
+	})
+	defer close(release)
+
+	del := func(path string) (int, *JobView) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var v JobView
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			if err := json.Unmarshal(data, &v); err != nil {
+				t.Fatalf("bad cancel view %s: %v", data, err)
+			}
+		}
+		return resp.StatusCode, &v
+	}
+
+	// A running run: DELETE answers 202 and the job winds down canceled.
+	_, running, _ := postJSON(t, ts.URL+"/v1/runs", runBody(1))
+	<-started
+	// A queued run: DELETE cancels it in place with 200.
+	_, queued, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2))
+	if status, v := del("/v1/runs/" + queued.ID); status != http.StatusOK || v.State != JobCanceled {
+		t.Fatalf("queued cancel: HTTP %d state %s, want 200 canceled", status, v.State)
+	}
+	if status, v := del("/v1/runs/" + running.ID); status != http.StatusAccepted || v.State != JobRunning {
+		t.Fatalf("running cancel: HTTP %d state %s, want 202 running", status, v.State)
+	}
+	if v := waitJob(t, ts.URL, running.ID); v.State != JobCanceled {
+		t.Fatalf("canceled run wound down %s, want canceled", v.State)
+	}
+	// A canceled key is retryable: the dedup index forgot it.
+	status, retry, _ := postJSON(t, ts.URL+"/v1/runs", runBody(2))
+	if status != http.StatusAccepted || retry.Deduped {
+		t.Fatalf("retry after cancel: HTTP %d deduped=%v, want a fresh 202", status, retry.Deduped)
+	}
+	<-started
+	if status, v := del("/v1/runs/" + retry.ID); status != http.StatusAccepted || v.ID != retry.ID {
+		t.Fatalf("cleanup cancel: HTTP %d %+v", status, v)
+	}
+	waitJob(t, ts.URL, retry.ID)
+
+	// Sweeps: wrong-kind and unknown ids 404; a running sweep cancels
+	// with 202 and winds down canceled.
+	if status, _ := del("/v1/sweeps/" + queued.ID); status != http.StatusNotFound {
+		t.Fatalf("cross-kind cancel: HTTP %d, want 404", status)
+	}
+	if status, _ := del("/v1/runs/j-999999"); status != http.StatusNotFound {
+		t.Fatalf("unknown id cancel: HTTP %d, want 404", status)
+	}
+	sweepReq := fmt.Sprintf(`{"workload":"TRFD_4","systems":["Base"],"sizes_kb":[16,32],"scale":%d,"seed":9}`, testScale)
+	_, sweep, _ := postJSON(t, ts.URL+"/v1/sweeps", sweepReq)
+	<-started
+	if status, _ := del("/v1/sweeps/" + sweep.ID); status != http.StatusAccepted {
+		t.Fatalf("sweep cancel: HTTP %d, want 202", status)
+	}
+	if v := waitJob(t, ts.URL, sweep.ID); v.State != JobCanceled {
+		t.Fatalf("canceled sweep wound down %s", v.State)
+	}
+	// A terminal job: DELETE just reports it.
+	if status, v := del("/v1/sweeps/" + sweep.ID); status != http.StatusOK || v.State != JobCanceled {
+		t.Fatalf("terminal cancel: HTTP %d state %s, want 200 canceled", status, v.State)
+	}
+}

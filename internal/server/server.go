@@ -27,7 +27,12 @@
 //	GET    /v1/sweeps/{id}/stream     same, kind-checked
 //	GET    /v1/campaigns/{id}/stream  same; aggregate cell progress + ETA
 //	GET    /v1/campaigns/{id}/report  comparison table + axis diff
+//	DELETE /v1/runs/{id}              cancel (uniform across kinds)
+//	DELETE /v1/sweeps/{id}            cancel (mid-grid keeps partial points)
 //	DELETE /v1/campaigns/{id}         cancel (mid-grid keeps partial cells)
+//	GET    /v1/results/{key}          stored result by content address
+//	HEAD   /v1/results/{key}          existence probe, no body
+//	GET    /v1/cluster                node table and store stats
 //	GET    /v1/workloads              selectable workloads and presets
 //	GET    /v1/metrics                JSON counters by default; Prometheus
 //	                                  text under ?format=prometheus or a
@@ -57,12 +62,14 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oscachesim/internal/campaign"
 	"oscachesim/internal/core"
 	"oscachesim/internal/experiment"
 	"oscachesim/internal/scenario"
+	"oscachesim/internal/store"
 	"oscachesim/internal/workload"
 )
 
@@ -87,6 +94,15 @@ type Options struct {
 	// state, queue wait). Nil disables logging — the quiet default the
 	// test suite relies on.
 	Logger *slog.Logger
+	// Store, when non-nil, is the durable content-addressed result
+	// store: completed results are appended to it, and a submitted key
+	// it already holds is answered terminal ("deduped": true) without
+	// queueing — across process restarts. Nil uses a memory-only store.
+	Store *store.Store
+	// Cluster, when non-nil, puts the node in cluster mode — as the
+	// coordinator (routing unique configurations to workers over a
+	// consistent-hash ring) or a worker (serving forwarded computes).
+	Cluster *ClusterOptions
 
 	// execute, when non-nil, replaces the simulation call — test
 	// seam for deterministic queue-full and drain scenarios.
@@ -119,35 +135,68 @@ type Server struct {
 	opts    Options
 	runner  *experiment.Runner
 	metrics *metrics
+	store   *store.Store  // always non-nil (memory-only fallback)
+	cluster *clusterState // nil outside cluster mode
 
 	queue chan *Job
 	wg    sync.WaitGroup // workers
 
-	mu       sync.Mutex
-	draining bool
-	seq      int
-	jobs     map[string]*Job // id -> job
-	byKey    map[string]*Job // canonical key -> job (dedup layer)
-	order    []*Job          // submission order (collection listings)
+	// localExecs counts simulations this process actually ran — not
+	// served from the memo, the store or a peer. Summed across a
+	// cluster it audits the exactly-once invariant.
+	localExecs atomic.Uint64
+
+	mu           sync.Mutex
+	draining     bool
+	seq          int
+	jobs         map[string]*Job // id -> job
+	byKey        map[string]*Job // canonical key -> job (dedup layer)
+	order        []*Job          // submission order (collection listings)
+	fallbackGate chan struct{}   // compute gate outside cluster mode
 }
 
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
+	// A caller-supplied Runner may be shared with other servers; only a
+	// private one gets the dedup chain installed as its compute hook.
+	ownRunner := opts.Runner == nil
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		runner:  opts.Runner,
-		queue:   make(chan *Job, opts.QueueDepth),
-		jobs:    make(map[string]*Job),
-		byKey:   make(map[string]*Job),
+		opts:   opts,
+		runner: opts.Runner,
+		store:  opts.Store,
+		queue:  make(chan *Job, opts.QueueDepth),
+		jobs:   make(map[string]*Job),
+		byKey:  make(map[string]*Job),
+	}
+	if s.store == nil {
+		s.store, _ = store.Open("", nil) // memory-only never fails
+	}
+	if opts.Cluster != nil {
+		s.cluster = newClusterState(*opts.Cluster, opts.Workers, opts.QueueDepth)
+	}
+	if ownRunner {
+		// Cache misses fall through memory to the disk store, then the
+		// owning peer (coordinator mode), then a local simulation.
+		s.runner.SetCompute(s.computeOutcome)
 	}
 	s.metrics = newMetrics(s)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cluster != nil && s.cluster.members != nil {
+		go s.sweeper()
+	}
 	return s
 }
+
+// jobID renders the id of the n-th accepted job.
+func jobID(n int) string { return fmt.Sprintf("j-%06d", n) }
+
+// Store exposes the server's result store (read-only uses: CLI stats,
+// tests).
+func (s *Server) Store() *store.Store { return s.store }
 
 // route is one entry of the v1 routing table: the Go 1.22 mux pattern,
 // the bounded endpoint label its latency histogram carries, and the
@@ -175,7 +224,15 @@ func (s *Server) routes() []route {
 		{"GET /v1/sweeps/{id}/stream", "/v1/sweeps/{id}/stream", s.handleKindStream("sweep")},
 		{"GET /v1/campaigns/{id}/stream", "/v1/campaigns/{id}/stream", s.handleKindStream("campaign")},
 		{"GET /v1/campaigns/{id}/report", "/v1/campaigns/{id}/report", s.handleCampaignReport},
-		{"DELETE /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleCampaignCancel},
+		{"DELETE /v1/runs/{id}", "/v1/runs/{id}", s.handleCancel("run")},
+		{"DELETE /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleCancel("sweep")},
+		{"DELETE /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleCancel("campaign")},
+		{"GET /v1/results/{key}", "/v1/results/{key}", s.handleResult},
+		{"HEAD /v1/results/{key}", "/v1/results/{key}", s.handleResult},
+		{"GET /v1/cluster", "/v1/cluster", s.handleClusterView},
+		{"POST /v1/cluster/nodes", "/v1/cluster/nodes", s.handleClusterRegister},
+		{"POST /v1/cluster/nodes/{id}/heartbeat", "/v1/cluster/nodes/{id}/heartbeat", s.handleClusterHeartbeat},
+		{"POST /v1/internal/compute", "/v1/internal/compute", s.handleInternalCompute},
 		{"GET /v1/workloads", "/v1/workloads", s.handleWorkloads},
 		{"GET /v1/metrics", "/v1/metrics", s.metrics.handler},
 		{"GET /healthz", "/healthz", s.handleHealthz},
@@ -263,6 +320,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	// and re-checks draining first.
 	close(s.queue)
 	s.mu.Unlock()
+	if s.cluster != nil {
+		close(s.cluster.stopSweep)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -309,8 +369,19 @@ func (s *Server) execute(job *Job) {
 		l.Info("job started", "job_id", job.ID, "kind", job.Kind,
 			"queue_wait_ms", float64(wait.Microseconds())/1000)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
+	// Every kind runs under a cancellable context so its DELETE can
+	// stop it mid-flight; partial grid results survive the cancel.
+	base, cancel := context.WithTimeout(context.Background(), job.Timeout)
 	defer cancel()
+	ctx, cancelCause := context.WithCancelCause(base)
+	job.armCancel(cancelCause)
+	defer cancelCause(nil)
+	// canceledErr normalizes "the client asked us to stop" regardless
+	// of which layer surfaced the context error.
+	canceledErr := func(err error) bool {
+		return errors.Is(err, errClientCanceled) ||
+			errors.Is(context.Cause(ctx), errClientCanceled)
+	}
 
 	switch job.Kind {
 	case "run":
@@ -321,9 +392,13 @@ func (s *Server) execute(job *Job) {
 		// into the stage histograms.
 		cfg.OnStages = s.metrics.observeRunStages
 		o, err := s.run(ctx, cfg)
+		if err != nil && canceledErr(err) {
+			err = errClientCanceled
+		}
 		var res *RunResult
 		var sv *StageView
 		if err == nil {
+			_ = s.store.Put(store.RecordOf(job.Key, o))
 			t0 := time.Now()
 			res = summarize(o)
 			render := time.Since(t0)
@@ -360,21 +435,19 @@ func (s *Server) execute(job *Job) {
 			job.pointFinished()
 		}
 		var sv *StageView
-		if err != nil {
-			res = nil
-		} else {
+		switch {
+		case err == nil:
 			sv = stageView(agg)
+			s.putViewRecord(job.Key, "sweep", res)
+		case canceledErr(err):
+			// Keep the points that finished before the cancel.
+			err = errClientCanceled
+		default:
+			res = nil
 		}
 		s.finalize(job, func() { job.finishSweep(res, sv, err) }, err)
 	case "campaign":
-		// The grid runs under a cancellable context so DELETE can stop
-		// it mid-grid; completed cells survive the cancellation.
-		cctx, cancelCause := context.WithCancelCause(ctx)
-		job.armCancel(cancelCause)
-		cells, err := campaign.Run(cctx, s.campaignRunner(), job.Plan, job.Camp)
-		cancelCause(nil)
-		canceled := errors.Is(err, errClientCanceled) ||
-			errors.Is(context.Cause(cctx), errClientCanceled)
+		cells, err := campaign.Run(ctx, s.campaignRunner(), job.Plan, job.Camp)
 		t0 := time.Now()
 		res, grid := campaignResult(job.Plan, cells)
 		render := time.Since(t0)
@@ -384,9 +457,10 @@ func (s *Server) execute(job *Job) {
 			snap := job.Camp.Snapshot()
 			st := snap.Stages
 			st.Render = render
+			s.putViewRecord(job.Key, "campaign", storedCampaignView{Result: res, Grid: grid})
 			s.finalize(job, func() { job.finishCampaign(res, grid, stageView(st), nil) }, nil)
 			s.metrics.campaignFinished(len(job.Plan.Cells), len(job.Plan.Unique), snap.Elapsed)
-		case canceled:
+		case canceledErr(err):
 			s.finalize(job, func() { job.finishCampaign(res, grid, nil, errClientCanceled) }, err)
 		default:
 			s.finalize(job, func() { job.finishCampaign(nil, nil, nil, err) }, err)
@@ -396,6 +470,22 @@ func (s *Server) execute(job *Job) {
 		l.Info("job finished", "job_id", job.ID, "kind", job.Kind,
 			"state", string(job.State()))
 	}
+}
+
+// putViewRecord persists a grid job's rendered result (sweep or
+// campaign) so a restarted daemon answers the same grid from disk.
+func (s *Server) putViewRecord(key, kind string, view any) {
+	raw, err := json.Marshal(view)
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(&store.Record{
+		Key:        key,
+		Kind:       kind,
+		SimVersion: core.SimVersion,
+		StoredAt:   time.Now().UTC(),
+		View:       raw,
+	})
 }
 
 // run invokes the shared memoizing runner (or the test seam).
@@ -455,10 +545,16 @@ func (s *Server) submit(job *Job) (*Job, bool, error) {
 		s.metrics.dedupHit()
 		return existing, true, nil
 	}
+	if s.jobFromStoreLocked(job) {
+		// The durable store already holds this key (this process or a
+		// previous one computed it): the job materializes terminal
+		// without ever touching the queue.
+		return job, true, nil
+	}
 	// Identity and indexes are fixed before the queue send makes the
 	// job visible to workers.
 	s.seq++
-	job.ID = fmt.Sprintf("j-%06d", s.seq)
+	job.ID = jobID(s.seq)
 	select {
 	case s.queue <- job:
 	default:

@@ -164,7 +164,9 @@ type Params struct {
 	DMASnoopPenalty uint64
 	// Attrs carries the per-page protocol-selection and read-only
 	// bits; nil means all pages default (invalidate protocol).
-	Attrs *memory.AttrTable
+	// Excluded from the wire encoding (cluster compute forwarding):
+	// core.Run rederives it from hashed config fields on the worker.
+	Attrs *memory.AttrTable `json:"-"`
 	// SyncGrantCycles is the hand-off latency of a contended lock or
 	// the release of a barrier.
 	SyncGrantCycles uint64
@@ -173,13 +175,14 @@ type Params struct {
 	// RegionNamer, when set, enables the Section 6 conflict analysis:
 	// every primary-data-cache eviction is attributed to the (evictor
 	// region, victim region) pair it represents. The function maps an
-	// address to a data-structure name.
-	RegionNamer func(uint64) string
+	// address to a data-structure name. Not serializable: excluded from
+	// the wire encoding like Attrs.
+	RegionNamer func(uint64) string `json:"-"`
 	// Progress, when set, receives sampled live counters during Run so
 	// a concurrent reader can report progress. Runtime plumbing only:
 	// it does not affect simulation results and is excluded from
-	// canonical run keys.
-	Progress *Progress
+	// canonical run keys and the wire encoding.
+	Progress *Progress `json:"-"`
 	// IntraWorkers > 1 enables intra-run parallel execution: processors
 	// advance concurrently through bounded time windows that a
 	// conservative pre-scan has proven free of cross-processor coherence
